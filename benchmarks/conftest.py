@@ -1,0 +1,42 @@
+"""Benchmark harness conventions.
+
+Every ``test_figNN_*`` benchmark regenerates one of the paper's figures or
+tables on a reproduction-scale corpus and prints the measured series next
+to the values the paper reports.  Absolute numbers come from a simulator,
+not the authors' testbed, so the claims under test are the *shapes*:
+orderings, rough ratios and crossovers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each experiment executes exactly once (``pedantic`` with one round); the
+benchmark timing is the experiment's wall time, which doubles as a
+regression guard on simulator performance.
+"""
+
+import pytest
+
+
+#: Pages per corpus for benchmark runs.  The paper uses 100 News+Sports
+#: pages and 265 accuracy pages; these defaults keep a full benchmark
+#: session within a few minutes while preserving the distribution shapes.
+BENCH_CORPUS_SIZE = 24
+BENCH_ACCURACY_SIZE = 40
+
+
+@pytest.fixture(scope="session")
+def corpus_size():
+    return BENCH_CORPUS_SIZE
+
+
+@pytest.fixture(scope="session")
+def accuracy_size():
+    return BENCH_ACCURACY_SIZE
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )

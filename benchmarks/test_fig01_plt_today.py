@@ -1,0 +1,27 @@
+"""Fig 1: page load times on today's mobile web.
+
+Paper: median top-100 PLT ~5 s; median News+Sports PLT >10 s; user
+tolerance is 2-3 s.  Shape claim: News+Sports is markedly slower than the
+overall top-100.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.stats import median
+from repro.experiments import figures
+from repro.experiments.report import print_figure
+
+
+def test_fig01_plt_today(benchmark, corpus_size):
+    series = run_once(benchmark, figures.fig1_plt_today, count=corpus_size)
+    print_figure(
+        "Fig 1: PLT CDFs on today's mobile web (HTTP/1.1 replay)",
+        series,
+        paper_values={
+            "top100_http1_plt": 5.0,
+            "news_sports_http1_plt": 10.5,
+        },
+    )
+    assert median(series["news_sports_http1_plt"]) > median(
+        series["top100_http1_plt"]
+    )
+    assert median(series["news_sports_http1_plt"]) > 3.0

@@ -1,0 +1,29 @@
+"""Fig 2: potential for reducing PLT by fully using CPU or network.
+
+Paper: with exactly one resource as the bottleneck, median PLT drops from
+10.5 s to ~5 s; the CPU is typically the binding constraint.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.stats import median
+from repro.experiments import figures
+from repro.experiments.report import print_figure
+
+
+def test_fig02_lower_bounds(benchmark, corpus_size):
+    series = run_once(benchmark, figures.fig2_lower_bounds, count=corpus_size)
+    print_figure(
+        "Fig 2: lower bounds vs loads from the web (News+Sports)",
+        series,
+        paper_values={
+            "network_bound": 2.7,
+            "cpu_bound": 5.0,
+            "max_cpu_network": 5.0,
+            "loads_from_web": 10.5,
+        },
+    )
+    assert median(series["max_cpu_network"]) < median(
+        series["loads_from_web"]
+    )
+    # The CPU, not the network, is the typical bottleneck.
+    assert median(series["cpu_bound"]) > median(series["network_bound"])

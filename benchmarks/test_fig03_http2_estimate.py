@@ -1,0 +1,33 @@
+"""Fig 3: estimated impact of global HTTP/2 adoption.
+
+Paper: universal HTTP/2 cuts the News+Sports median from ~10.5 s to ~8 s,
+still well short of the ~5 s bound; configuring first parties to push all
+their static content adds little on top.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.stats import median
+from repro.experiments import figures
+from repro.experiments.report import print_figure
+
+
+def test_fig03_http2_estimate(benchmark, corpus_size):
+    series = run_once(
+        benchmark, figures.fig3_http2_estimate, count=corpus_size
+    )
+    series.pop("loads_from_web")  # identical to http1 in replay
+    print_figure(
+        "Fig 3: HTTP/2 adoption estimate (News+Sports)",
+        series,
+        paper_values={
+            "http2_baseline": 8.0,
+            "push_all_static": 7.8,
+            "http1": 10.5,
+        },
+    )
+    assert median(series["http2_baseline"]) <= median(series["http1"])
+    # Push-all-static offers little additional benefit over HTTP/2.
+    gain = median(series["http2_baseline"]) - median(
+        series["push_all_static"]
+    )
+    assert gain < 1.0

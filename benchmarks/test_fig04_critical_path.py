@@ -1,0 +1,26 @@
+"""Fig 4 (+ Sec 6.1 text): critical-path time spent waiting on the network.
+
+Paper: with HTTP/2, over 30% of the median page's critical path waits on
+the network; Vroom cuts the median page's network wait by ~24%.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.stats import median
+from repro.experiments import figures
+from repro.experiments.report import print_figure
+
+
+def test_fig04_critical_path(benchmark, corpus_size):
+    series = run_once(benchmark, figures.fig4_critical_path, count=corpus_size)
+    print_figure(
+        "Fig 4: fraction of critical path waiting on network",
+        series,
+        paper_values={
+            "http2_network_fraction": 0.30,
+            "vroom_network_fraction": 0.23,
+        },
+    )
+    assert median(series["http2_network_fraction"]) > 0.15
+    assert median(series["vroom_network_fraction"]) < median(
+        series["http2_network_fraction"]
+    )

@@ -1,0 +1,23 @@
+"""Fig 9: stable-set overlap across devices (device equivalence classes).
+
+Paper: a OnePlus 3 (phone) matches a Nexus 6's stable set far more closely
+than a Nexus 10 (tablet) does — so servers can load pages once per device
+*class* instead of once per model.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.stats import median
+from repro.experiments import figures
+from repro.experiments.report import print_figure
+
+
+def test_fig09_device_iou(benchmark, corpus_size):
+    series = run_once(
+        benchmark, figures.fig9_device_iou, count=max(30, corpus_size)
+    )
+    print_figure(
+        "Fig 9: stable-set IoU vs Nexus 6",
+        series,
+        paper_values={"oneplus3": 0.90, "nexus10": 0.65},
+    )
+    assert median(series["oneplus3"]) > median(series["nexus10"])

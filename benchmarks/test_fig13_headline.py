@@ -1,0 +1,73 @@
+"""Fig 13 (+ Sec 6.1 text): the headline result.
+
+Paper medians on News+Sports: HTTP/1.1 10.5 s, HTTP/2 baseline 7.3 s,
+Vroom 5.1 s, lower bound 5.0 s.  AFT improves by ~400 ms and Speed Index
+by ~380 at the median versus HTTP/2.  On 100 pages from the Alexa top 400:
+4.8 s -> 4.0 s.  First-party-only adoption: 5.6 s.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.stats import median
+from repro.experiments import figures
+from repro.experiments.report import print_figure
+
+
+def test_fig13_headline(benchmark, corpus_size):
+    collected = run_once(benchmark, figures.fig13_headline, count=corpus_size)
+    print_figure(
+        "Fig 13a: PLT (News+Sports)",
+        collected["plt"],
+        paper_values={
+            "http1": 10.5,
+            "http2": 7.3,
+            "vroom": 5.1,
+            "lower_bound": 5.0,
+        },
+    )
+    print_figure(
+        "Fig 13b: above-the-fold time",
+        collected["aft"],
+        paper_values={"vroom": 7.0, "http2": 7.4},
+    )
+    print_figure(
+        "Fig 13c: Speed Index",
+        collected["speed_index"],
+        paper_values={"vroom": 3500, "http2": 3880},
+    )
+    from repro.analysis.comparison import compare_paired
+
+    plt = collected["plt"]
+    paired = compare_paired("vroom", plt["vroom"], "http2", plt["http2"])
+    print(paired.describe())
+    assert paired.significant and paired.median_delta > 0
+    assert median(plt["vroom"]) < median(plt["http2"]) < median(plt["http1"])
+    assert median(plt["lower_bound"]) <= median(plt["vroom"])
+    # Vroom recovers a substantial share of the headroom between the
+    # HTTP/2 baseline and the lower bound.  (The paper recovers ~96% of
+    # it; our simulated lower bound is more optimistic than the paper's
+    # USB testbed, so the recovered share is smaller — see EXPERIMENTS.md.)
+    headroom = median(plt["http2"]) - median(plt["lower_bound"])
+    recovered = median(plt["http2"]) - median(plt["vroom"])
+    assert recovered > 0.25 * headroom
+    # AFT improves.
+    assert median(collected["aft"]["vroom"]) < median(
+        collected["aft"]["http2"]
+    )
+
+
+def test_alexa400_and_partial_adoption(benchmark, corpus_size):
+    series = run_once(
+        benchmark, figures.alexa400_and_partial_adoption, count=corpus_size
+    )
+    print_figure(
+        "Sec 6.1 text: lighter corpus + first-party-only adoption",
+        series,
+        paper_values={
+            "alexa400_http2": 4.8,
+            "alexa400_vroom": 4.0,
+            "news_vroom_first_party_only": 5.6,
+        },
+    )
+    assert median(series["alexa400_vroom"]) < median(
+        series["alexa400_http2"]
+    )

@@ -1,0 +1,30 @@
+"""Fig 16: latency to discover and to finish fetching resources.
+
+Paper medians vs HTTP/2: discovery of all resources improves 22% (high
+priority only: 16%); completion of all fetches improves 22% (high priority
+only: 12%).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.stats import median
+from repro.experiments import figures
+from repro.experiments.report import print_figure
+
+
+def test_fig16_discovery_fetch(benchmark, corpus_size):
+    series = run_once(
+        benchmark, figures.fig16_discovery_fetch, count=corpus_size
+    )
+    print_figure(
+        "Fig 16: relative improvement over HTTP/2 (positive = faster)",
+        series,
+        paper_values={
+            "discovery_all": 0.22,
+            "discovery_high": 0.16,
+            "fetch_all": 0.22,
+            "fetch_high": 0.12,
+        },
+    )
+    assert median(series["discovery_all"]) > 0.05
+    assert median(series["fetch_all"]) > 0.05
+    assert median(series["discovery_high"]) > 0.0

@@ -1,0 +1,39 @@
+"""Fig 17 (+ ablation): accuracy of dependencies matters.
+
+Paper: returning the full set of resources from a single prior load still
+helps at the median, but the extraneous stale URLs degrade many pages —
+the 75th percentile rises by over 1.5 s relative to Vroom.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+
+
+def _print_quartiles(title, series, paper=None):
+    print(f"== {title} ==")
+    for name, (q1, q2, q3) in series.items():
+        row = f"{name:<28} p25={q1:6.2f} median={q2:6.2f} p75={q3:6.2f}"
+        if paper and name in paper:
+            row += f"  | paper median ~{paper[name]:.1f}"
+        print(row)
+
+
+def test_fig17_prev_load(benchmark, corpus_size):
+    series = run_once(benchmark, figures.fig17_prev_load, count=corpus_size)
+    _print_quartiles(
+        "Fig 17: deps from a single previous load (quartiles)",
+        series,
+        paper={
+            "lower_bound": 5.0,
+            "vroom": 5.1,
+            "deps_from_previous_load": 5.6,
+            "http2_baseline": 7.3,
+        },
+    )
+    assert series["vroom"][1] < series["http2_baseline"][1]
+    assert series["deps_from_previous_load"][1] < series["http2_baseline"][1]
+    # Stale extraneous dependencies keep prev-load from beating Vroom at
+    # the median.  (The paper additionally reports a +1.5 s blowup at the
+    # 75th percentile; our synthetic nonce resources are small beacons,
+    # so the waste is milder — see EXPERIMENTS.md.)
+    assert series["deps_from_previous_load"][1] >= series["vroom"][1] - 0.40

@@ -1,0 +1,32 @@
+"""Fig 18: HTTP/2 PUSH alone is not enough.
+
+Paper: whether servers push all their static resources or only the
+processable subset, median PLT stays more than 2 s above Vroom's, because
+third-party dependencies can only be described via hints.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+from benchmarks.test_fig17_prev_load import _print_quartiles
+
+
+def test_fig18_push_only(benchmark, corpus_size):
+    series = run_once(benchmark, figures.fig18_push_only, count=corpus_size)
+    _print_quartiles(
+        "Fig 18: push without dependency hints (quartiles)",
+        series,
+        paper={
+            "lower_bound": 5.0,
+            "vroom": 5.1,
+            "push_high_priority_no_hints": 7.3,
+            "push_all_no_hints": 7.4,
+        },
+    )
+    assert series["vroom"][1] < series["push_high_priority_no_hints"][1]
+    assert series["vroom"][1] < series["push_all_no_hints"][1]
+    # The two push-only variants behave similarly (neither can describe
+    # third-party content).
+    assert abs(
+        series["push_high_priority_no_hints"][1]
+        - series["push_all_no_hints"][1]
+    ) < 1.5

@@ -1,0 +1,35 @@
+"""Fig 19 (+ ablations): cooperative scheduling is key.
+
+Paper: the "Push All, Fetch ASAP" strawman yields no improvement over
+baseline HTTP/2 (its median even worsens from contention), while Vroom's
+selective push + staged fetches approach the lower bound.  The ablations
+DESIGN.md calls out — FIFO response ordering off, JS single-thread delay
+off — run in the same sweep.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures
+from benchmarks.test_fig17_prev_load import _print_quartiles
+
+
+def test_fig19_scheduling(benchmark, corpus_size):
+    series = run_once(benchmark, figures.fig19_scheduling, count=corpus_size)
+    _print_quartiles(
+        "Fig 19: scheduling strawmen + ablations (quartiles)",
+        series,
+        paper={
+            "lower_bound": 5.0,
+            "vroom": 5.1,
+            "push_all_fetch_asap": 7.5,
+            "no_push_no_hints": 7.3,
+        },
+    )
+    assert series["vroom"][1] < series["no_push_no_hints"][1]
+    assert series["vroom"][1] <= series["push_all_fetch_asap"][1] + 0.2
+    # Fetch-ASAP gives little to no benefit over plain HTTP/2.
+    improvement = (
+        series["no_push_no_hints"][1] - series["push_all_fetch_asap"][1]
+    )
+    assert improvement < (
+        series["no_push_no_hints"][1] - series["vroom"][1]
+    )

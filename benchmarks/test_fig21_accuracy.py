@@ -1,0 +1,75 @@
+"""Fig 21: accuracy of server-side dependency resolution (Sec 6.2).
+
+Paper: (a) the predictable subset covers >80% of resources and >95% of
+bytes; (b) Vroom misses <5% of it (offline-only misses up to 40%,
+online-only ~0); (c) Vroom's extraneous returns match offline-only's,
+while online-only inflates the set by as much as 20%.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.stats import median
+from repro.experiments import figures
+from repro.experiments.report import print_figure
+
+
+def test_fig21_accuracy(benchmark, accuracy_size):
+    series = run_once(benchmark, figures.fig21_accuracy, count=accuracy_size)
+    print_figure(
+        "Fig 21a: predictable subset share",
+        {
+            "predictable_count_share": series["predictable_count_share"],
+            "predictable_byte_share": series["predictable_byte_share"],
+        },
+        paper_values={
+            "predictable_count_share": 0.80,
+            "predictable_byte_share": 0.95,
+        },
+    )
+    print_figure(
+        "Fig 21b: false negatives (fraction of predictable subset)",
+        {
+            "vroom_fn": series["vroom_fn"],
+            "offline_only_fn": series["offline_only_fn"],
+            "online_only_fn": series["online_only_fn"],
+        },
+        paper_values={
+            "vroom_fn": 0.05,
+            "offline_only_fn": 0.20,
+            "online_only_fn": 0.00,
+        },
+    )
+    print_figure(
+        "Fig 21c: false positives (fraction of predictable subset)",
+        {
+            "vroom_fp": series["vroom_fp"],
+            "offline_only_fp": series["offline_only_fp"],
+            "online_only_fp": series["online_only_fp"],
+        },
+        paper_values={
+            "vroom_fp": 0.05,
+            "offline_only_fp": 0.05,
+            "online_only_fp": 0.20,
+        },
+    )
+    # (a) predictable subset dominates, more so in bytes.
+    assert median(series["predictable_count_share"]) > 0.6
+    assert median(series["predictable_byte_share"]) > median(
+        series["predictable_count_share"]
+    )
+    # (b) FN ordering: vroom ~ online << offline.
+    assert median(series["vroom_fn"]) < 0.10
+    assert median(series["vroom_fn"]) < median(series["offline_only_fn"])
+    assert median(series["online_only_fn"]) < 0.10
+    # (c) FP ordering: vroom ~ offline << online.
+    assert median(series["online_only_fp"]) > median(series["vroom_fp"])
+    assert median(series["vroom_fp"]) < 0.15
+
+
+def test_flux_calibration(benchmark, corpus_size):
+    series = run_once(benchmark, figures.flux_calibration, count=corpus_size)
+    print_figure(
+        "Sec 4.1 text: back-to-back URL flux (Alexa top-100)",
+        series,
+        paper_values={"back_to_back_flux": 0.22},
+    )
+    assert 0.05 < median(series["back_to_back_flux"]) < 0.40

@@ -1,0 +1,39 @@
+"""Packet loss and the HTTP/1.1 fallback (related-work claims).
+
+Paper Sec 8: a single TCP connection "can be detrimental in the presence
+of high packet loss", and Vroom "can be used with HTTP/1.1 in the face
+of high packet loss".  This bench verifies both: HTTP/2 degrades faster
+than HTTP/1.1 as loss grows, and at high loss Vroom's hints over
+HTTP/1.1 beat Vroom over HTTP/2.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.stats import median
+from repro.experiments.loss_study import loss_sweep
+
+
+def test_loss_study(benchmark):
+    result = run_once(
+        benchmark, loss_sweep, count=8, loss_rates=(0.0, 0.05, 0.10)
+    )
+    print("== PLT medians under packet loss ==")
+    print(f"{'loss':<6} {'http1':>8} {'http2':>8} {'vroom/h2':>9} {'vroom/h1':>9}")
+    for loss, rows in result.items():
+        print(
+            f"{loss * 100:4.0f}%  "
+            f"{median(rows['http1']):7.2f}s "
+            f"{median(rows['http2']):7.2f}s "
+            f"{median(rows['vroom_h2']):8.2f}s "
+            f"{median(rows['vroom_h1']):8.2f}s"
+        )
+    clean, high = result[0.0], result[0.10]
+    h2_degradation = median(high["http2"]) - median(clean["http2"])
+    h1_degradation = median(high["http1"]) - median(clean["http1"])
+    # The single-connection design suffers more under loss.
+    assert h2_degradation > h1_degradation
+    # Vroom's hints help on both transports at every loss rate.
+    for loss, rows in result.items():
+        assert median(rows["vroom_h2"]) < median(rows["http2"]), loss
+        assert median(rows["vroom_h1"]) < median(rows["http1"]), loss
+    # At high loss the HTTP/1.1 fallback overtakes Vroom-over-HTTP/2.
+    assert median(high["vroom_h1"]) < median(high["vroom_h2"]) + 0.3

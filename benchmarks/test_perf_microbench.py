@@ -1,0 +1,61 @@
+"""Simulator performance micro-benchmarks.
+
+Unlike the figure benches (which run an experiment once and assert its
+shape), these measure the simulator itself over multiple rounds: event
+throughput of the DES core, and wall time of a single cold page load
+under the baseline and under Vroom.  They guard against performance
+regressions that would make the figure benches crawl.
+"""
+
+from repro.baselines.configs import run_config
+from repro.calibration import DEFAULT_EVAL_HOUR
+from repro.net.simulator import Simulator
+from repro.pages.corpus import news_sports_corpus
+from repro.pages.dynamics import LoadStamp
+from repro.replay.recorder import record_snapshot
+
+
+def test_perf_simulator_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return count[0]
+
+    events = benchmark(run_10k_events)
+    assert events == 10_000
+
+
+def _page_fixture():
+    page = news_sports_corpus(count=1)[0]
+    snapshot = page.materialize(LoadStamp(when_hours=DEFAULT_EVAL_HOUR))
+    store = record_snapshot(snapshot)
+    return page, snapshot, store
+
+
+def test_perf_http2_page_load(benchmark):
+    page, snapshot, store = _page_fixture()
+    metrics = benchmark(
+        lambda: run_config("http2", page, snapshot, store)
+    )
+    assert metrics.plt > 0
+
+
+def test_perf_vroom_page_load(benchmark):
+    page, snapshot, store = _page_fixture()
+    metrics = benchmark(
+        lambda: run_config("vroom", page, snapshot, store)
+    )
+    assert metrics.plt > 0
+
+
+def test_perf_corpus_generation(benchmark):
+    pages = benchmark(lambda: news_sports_corpus(count=10, seed=909))
+    assert len(pages) == 10

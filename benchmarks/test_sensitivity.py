@@ -1,0 +1,21 @@
+"""Sensitivity of the headline conclusion to calibration constants."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.sensitivity import sensitivity_sweep
+
+
+def test_sensitivity(benchmark):
+    result = run_once(benchmark, sensitivity_sweep, count=6)
+    print("== Vroom/HTTP2 median PLT ratio under calibration perturbation ==")
+    print("(below 1.0 = Vroom wins; 1.0x column is the calibrated point)")
+    for knob, ratios in result.items():
+        row = "  ".join(
+            f"{mult:.1f}x:{ratio:.2f}" for mult, ratio in sorted(ratios.items())
+        )
+        print(f"{knob:<10} {row}")
+    # The conclusion must hold at the calibrated point and at every
+    # non-pathological perturbation of each knob.
+    for knob, ratios in result.items():
+        assert ratios[1.0] < 0.95, knob
+        for multiplier, ratio in ratios.items():
+            assert ratio < 1.1, (knob, multiplier)

@@ -1,0 +1,25 @@
+"""Sec 3's thesis as a measurement: Vroom raises CPU utilization.
+
+The paper argues page loads underuse both the CPU and the access link
+because each blocks on the other, and that server-aided discovery
+decouples them.  This bench quantifies it: the busy fraction of both
+resources across configurations.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.stats import median
+from repro.experiments.utilization import utilization_comparison
+
+
+def test_utilization(benchmark, corpus_size):
+    result = run_once(
+        benchmark, utilization_comparison, count=max(12, corpus_size // 2)
+    )
+    print("== Resource utilization during the load (median busy fraction) ==")
+    for config, rows in result.items():
+        print(
+            f"{config:<8} cpu={median(rows['cpu']):.2f} "
+            f"link={median(rows['link']):.2f}"
+        )
+    assert median(result["vroom"]["cpu"]) > median(result["http2"]["cpu"])
+    assert median(result["http2"]["cpu"]) < 0.95  # baseline leaves slack

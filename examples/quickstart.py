@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: load one page with and without Vroom.
+
+Generates a synthetic News-site landing page, records it into the replay
+harness, then loads it three ways — HTTP/1.1, plain HTTP/2, and Vroom —
+and prints the page-load metrics side by side.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    LoadStamp,
+    news_sports_corpus,
+    record_snapshot,
+    run_config,
+)
+
+
+def main() -> None:
+    # A deterministic synthetic page (~150 resources, ~30 domains).
+    page = news_sports_corpus(count=1)[0]
+
+    # Materialise one concrete load of it: a Nexus 6 user at hour 1000.
+    stamp = LoadStamp(when_hours=1000.0, device="nexus6", user="alice")
+    snapshot = page.materialize(stamp)
+    print(
+        f"page {page.name!r}: {len(snapshot.all_resources())} resources, "
+        f"{snapshot.total_bytes() / 1e6:.2f} MB across "
+        f"{len(snapshot.domains())} domains"
+    )
+
+    # Record it once (the Mahimahi step), then replay under each config.
+    store = record_snapshot(snapshot)
+    print(f"{'config':<12} {'PLT':>7} {'AFT':>7} {'SpeedIdx':>9}")
+    for config in ("http1", "http2", "vroom"):
+        metrics = run_config(config, page, snapshot, store)
+        print(
+            f"{config:<12} {metrics.plt:6.2f}s {metrics.aft:6.2f}s "
+            f"{metrics.speed_index:8.0f}"
+        )
+
+    vroom = run_config("vroom", page, snapshot, store)
+    http2 = run_config("http2", page, snapshot, store)
+    saved = http2.plt - vroom.plt
+    print(
+        f"\nVroom saves {saved:.2f}s on this page "
+        f"({saved / http2.plt:.0%} of the HTTP/2 load time)."
+    )
+    print(
+        "discovery of all resources finished at "
+        f"{vroom.discovery_complete_at():.2f}s with Vroom vs "
+        f"{http2.discovery_complete_at():.2f}s with HTTP/2"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Scenario: watch the CPU/network decoupling happen.
+
+The paper's Sec 3 argument is that page loads ping-pong between the CPU
+and the network, leaving both idle half the time, and that server-aided
+discovery lets them run concurrently.  This script samples both
+resources through one load under HTTP/2 and under Vroom and draws the
+two timelines side by side.
+
+Run:  python examples/utilization_timeline.py
+"""
+
+from repro import LoadStamp, news_sports_corpus, record_snapshot
+from repro.browser.engine import BrowserConfig, load_page
+from repro.core.scheduler import VroomScheduler
+from repro.core.server import vroom_servers
+from repro.net.http import NetworkConfig
+from repro.net.link import StreamScheduling
+from repro.replay.replayer import build_servers
+
+
+def timeline_row(trace, pick, width=78, horizon=None):
+    """Render one boolean-ish series as a text strip."""
+    horizon = horizon or trace[-1][0]
+    cells = ["."] * width
+    for time, busy, streams in trace:
+        slot = min(width - 1, int(time / horizon * (width - 1)))
+        if pick(busy, streams):
+            cells[slot] = "#"
+    return "".join(cells)
+
+
+def main() -> None:
+    page = news_sports_corpus(count=1)[0]
+    stamp = LoadStamp(when_hours=1000.0)
+    snapshot = page.materialize(stamp)
+    store = record_snapshot(snapshot)
+    browser = BrowserConfig(when_hours=stamp.when_hours, sample_interval=0.1)
+
+    http2 = load_page(snapshot, build_servers(store), NetworkConfig(), browser)
+    vroom = load_page(
+        snapshot,
+        vroom_servers(page, snapshot, store),
+        NetworkConfig(h2_scheduling=StreamScheduling.FIFO),
+        browser,
+        policy=VroomScheduler(),
+    )
+
+    horizon = max(http2.plt, vroom.plt)
+    print(f"page {page.name!r}; axis 0..{horizon:.1f}s; '#' = busy\n")
+    for name, metrics in (("HTTP/2", http2), ("Vroom", vroom)):
+        trace = metrics.utilization_trace
+        print(
+            f"{name:<7} plt={metrics.plt:5.2f}s  "
+            f"cpu util={metrics.cpu_utilization:.0%}  "
+            f"link util={metrics.link_utilization:.0%}"
+        )
+        print(
+            "  cpu  |"
+            + timeline_row(trace, lambda busy, _: busy, horizon=horizon)
+            + "|"
+        )
+        print(
+            "  link |"
+            + timeline_row(trace, lambda _, streams: streams > 0,
+                           horizon=horizon)
+            + "|"
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Analysis utilities: CDFs, accuracy metrics, persistence, device overlap."""
+
+from repro.analysis.stats import Cdf, median, percentile, quartiles
+from repro.analysis.accuracy import (
+    AccuracyResult,
+    predictable_partition,
+    score_strategy,
+)
+from repro.analysis.persistence import persistence_fraction
+from repro.analysis.device_overlap import intersection_over_union
+from repro.analysis.comparison import compare_paired, bootstrap_median_ci
+from repro.analysis.critical_path import critical_path_composition
+from repro.analysis.export import har_like, metrics_to_dict
+from repro.analysis.waterfall import render_waterfall, summarize_phases
+
+__all__ = [
+    "Cdf",
+    "median",
+    "percentile",
+    "quartiles",
+    "AccuracyResult",
+    "predictable_partition",
+    "score_strategy",
+    "persistence_fraction",
+    "intersection_over_union",
+    "compare_paired",
+    "bootstrap_median_ci",
+    "critical_path_composition",
+    "har_like",
+    "metrics_to_dict",
+    "render_waterfall",
+    "summarize_phases",
+]

@@ -1,0 +1,88 @@
+"""Paired comparison statistics with bootstrap confidence intervals.
+
+Per-page PLT distributions across configurations are *paired* (the same
+page loads under each config), so the right comparison is the per-page
+delta, not the difference of medians.  This module computes win rates,
+median paired deltas, and numpy-powered bootstrap confidence intervals —
+the statistics a careful reader wants next to any "A beats B" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class PairedComparison:
+    """Summary of paired per-page measurements A vs B."""
+
+    name_a: str
+    name_b: str
+    n: int
+    median_delta: float           # median of (B - A); positive = A faster
+    win_rate: float               # fraction of pages where A < B
+    ci_low: float                 # 95% bootstrap CI on the median delta
+    ci_high: float
+
+    @property
+    def significant(self) -> bool:
+        """True when the CI excludes zero."""
+        return self.ci_low > 0.0 or self.ci_high < 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.name_a} vs {self.name_b}: median delta "
+            f"{self.median_delta:+.2f}s (95% CI [{self.ci_low:+.2f}, "
+            f"{self.ci_high:+.2f}]), wins {self.win_rate:.0%} of "
+            f"{self.n} pages"
+            + (" — significant" if self.significant else "")
+        )
+
+
+def bootstrap_median_ci(
+    values: Sequence[float],
+    iterations: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 7,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap CI on the median of ``values``."""
+    if not values:
+        raise ValueError("cannot bootstrap an empty sample")
+    rng = np.random.default_rng(seed)
+    data = np.asarray(values, dtype=float)
+    samples = rng.choice(data, size=(iterations, len(data)), replace=True)
+    medians = np.median(samples, axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(medians, alpha)),
+        float(np.quantile(medians, 1.0 - alpha)),
+    )
+
+
+def compare_paired(
+    name_a: str,
+    values_a: Sequence[float],
+    name_b: str,
+    values_b: Sequence[float],
+    **bootstrap_kwargs,
+) -> PairedComparison:
+    """Paired comparison: per-index deltas B - A (positive = A faster)."""
+    if len(values_a) != len(values_b):
+        raise ValueError("paired comparison needs equal-length samples")
+    if not values_a:
+        raise ValueError("paired comparison needs at least one pair")
+    deltas = [b - a for a, b in zip(values_a, values_b)]
+    ci_low, ci_high = bootstrap_median_ci(deltas, **bootstrap_kwargs)
+    wins = sum(1 for delta in deltas if delta > 0)
+    return PairedComparison(
+        name_a=name_a,
+        name_b=name_b,
+        n=len(deltas),
+        median_delta=float(np.median(deltas)),
+        win_rate=wins / len(deltas),
+        ci_low=ci_low,
+        ci_high=ci_high,
+    )

@@ -1,0 +1,79 @@
+"""Critical-path composition: what actually sits on the slow chain.
+
+WProf-style breakdown of the reconstructed critical path: how much of it
+is network vs CPU, and which resource types occupy it.  The paper's Fig 4
+uses the network share; the per-type composition explains *why* (chains
+of third-party scripts, not images, dominate the wait).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.browser.metrics import LoadMetrics
+
+
+@dataclass
+class CriticalPathComposition:
+    """Seconds of critical path attributed per (kind, resource type)."""
+
+    total: float
+    network_seconds: float
+    cpu_seconds: float
+    by_resource_type: Dict[str, float]
+    by_domain_party: Dict[str, float]  # "first-party" / "third-party"
+
+    @property
+    def network_fraction(self) -> float:
+        return self.network_seconds / self.total if self.total else 0.0
+
+    def describe(self) -> str:
+        lines = [
+            f"critical path {self.total:.2f}s: "
+            f"network {self.network_seconds:.2f}s "
+            f"({self.network_fraction:.0%}), cpu {self.cpu_seconds:.2f}s"
+        ]
+        for rtype, seconds in sorted(
+            self.by_resource_type.items(), key=lambda item: -item[1]
+        ):
+            lines.append(f"  {rtype:<8} {seconds:5.2f}s")
+        for party, seconds in sorted(self.by_domain_party.items()):
+            lines.append(f"  {party:<12} {seconds:5.2f}s")
+        return "\n".join(lines)
+
+
+def critical_path_composition(
+    metrics: LoadMetrics, first_party_domain: str = ""
+) -> CriticalPathComposition:
+    """Break the reconstructed critical path down by kind and type."""
+    network = cpu = 0.0
+    by_type: Dict[str, float] = {}
+    by_party: Dict[str, float] = {}
+    for hop in metrics.critical_path:
+        duration = hop.duration
+        if hop.kind == "network":
+            network += duration
+        else:
+            cpu += duration
+        timeline = metrics.timelines.get(hop.url)
+        rtype = (
+            timeline.resource.rtype.value
+            if timeline is not None and timeline.resource is not None
+            else "unknown"
+        )
+        by_type[rtype] = by_type.get(rtype, 0.0) + duration
+        domain = hop.url.partition("/")[0]
+        party = (
+            "first-party"
+            if first_party_domain and domain == first_party_domain
+            else "third-party"
+        )
+        by_party[party] = by_party.get(party, 0.0) + duration
+    return CriticalPathComposition(
+        total=network + cpu,
+        network_seconds=network,
+        cpu_seconds=cpu,
+        by_resource_type=by_type,
+        by_domain_party=by_party,
+    )

@@ -1,0 +1,134 @@
+"""Structured export of load results (JSON-ready dictionaries).
+
+Downstream tooling — notebooks, dashboards, regression trackers — wants
+plain data, not objects.  ``metrics_to_dict`` flattens a
+:class:`~repro.browser.metrics.LoadMetrics` into JSON-serialisable
+primitives; ``timeline_to_dict`` does one resource.  ``har_like`` renders
+the load in a HAR-flavoured shape (log → entries with timings) that chart
+tools already understand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.browser.metrics import LoadMetrics, ResourceTimeline
+
+
+def timeline_to_dict(timeline: ResourceTimeline) -> Dict[str, Any]:
+    return {
+        "url": timeline.url,
+        "type": (
+            timeline.resource.rtype.value if timeline.resource else None
+        ),
+        "size": timeline.size,
+        "priority": (
+            timeline.priority.name if timeline.priority is not None else None
+        ),
+        "discovered_at": timeline.discovered_at,
+        "discovered_via": timeline.discovered_via,
+        "discovered_from": timeline.discovered_from,
+        "fetch_started_at": timeline.fetch_started_at,
+        "headers_at": timeline.headers_at,
+        "fetched_at": timeline.fetched_at,
+        "processed_at": timeline.processed_at,
+        "rendered_at": timeline.rendered_at,
+        "from_cache": timeline.from_cache,
+        "pushed": timeline.pushed,
+        "referenced": timeline.referenced,
+    }
+
+
+def metrics_to_dict(
+    metrics: LoadMetrics, include_timelines: bool = True
+) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "page": metrics.page,
+        "plt": metrics.plt,
+        "aft": metrics.aft,
+        "speed_index": metrics.speed_index,
+        "onload_at": metrics.onload_at,
+        "cpu_busy_time": metrics.cpu_busy_time,
+        "bytes_fetched": metrics.bytes_fetched,
+        "wasted_bytes": metrics.wasted_bytes,
+        "network_wait_fraction": metrics.network_wait_fraction,
+        "cpu_utilization": metrics.cpu_utilization,
+        "link_utilization": metrics.link_utilization,
+        "link_active_fraction": metrics.link_active_fraction,
+        "critical_path": [
+            {
+                "url": hop.url,
+                "kind": hop.kind,
+                "start": hop.start,
+                "end": hop.end,
+            }
+            for hop in metrics.critical_path
+        ],
+    }
+    if include_timelines:
+        out["resources"] = [
+            timeline_to_dict(timeline)
+            for timeline in metrics.timelines.values()
+        ]
+    return out
+
+
+def har_like(metrics: LoadMetrics) -> Dict[str, Any]:
+    """A HAR-flavoured rendering of the load.
+
+    Times follow HAR conventions: per-entry ``startedDateTime`` is the
+    fetch start in seconds from navigation (HAR wants ISO dates; we keep
+    simulation-relative floats), ``timings`` carry blocked/wait/receive
+    in milliseconds, -1 for not-applicable.
+    """
+    entries: List[Dict[str, Any]] = []
+    for timeline in metrics.timelines.values():
+        if timeline.fetch_started_at is None:
+            continue
+        blocked = -1.0
+        if timeline.discovered_at is not None:
+            blocked = max(
+                0.0, timeline.fetch_started_at - timeline.discovered_at
+            ) * 1000.0
+        wait = receive = -1.0
+        if timeline.headers_at is not None:
+            wait = max(
+                0.0, timeline.headers_at - timeline.fetch_started_at
+            ) * 1000.0
+            if timeline.fetched_at is not None:
+                receive = max(
+                    0.0, timeline.fetched_at - timeline.headers_at
+                ) * 1000.0
+        entries.append(
+            {
+                "startedDateTime": timeline.fetch_started_at,
+                "request": {"url": timeline.url},
+                "response": {
+                    "bodySize": timeline.size,
+                    "fromCache": timeline.from_cache,
+                    "pushed": timeline.pushed,
+                },
+                "timings": {
+                    "blocked": blocked,
+                    "wait": wait,
+                    "receive": receive,
+                },
+            }
+        )
+    entries.sort(key=lambda entry: entry["startedDateTime"])
+    return {
+        "log": {
+            "version": "1.2",
+            "creator": {"name": "repro-vroom", "version": "1.0"},
+            "pages": [
+                {
+                    "id": metrics.page,
+                    "pageTimings": {
+                        "onLoad": metrics.onload_at * 1000.0,
+                        "aboveTheFold": metrics.aft * 1000.0,
+                    },
+                }
+            ],
+            "entries": entries,
+        }
+    }

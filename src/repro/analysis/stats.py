@@ -1,0 +1,88 @@
+"""Small statistics helpers used across experiments (CDFs, percentiles)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile; ``fraction`` in [0, 1]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    if ordered[low] == ordered[high]:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 0.5)
+
+
+def quartiles(values: Sequence[float]) -> Tuple[float, float, float]:
+    """(25th, 50th, 75th) percentiles — the paper's box plots."""
+    return (
+        percentile(values, 0.25),
+        percentile(values, 0.50),
+        percentile(values, 0.75),
+    )
+
+
+class Cdf:
+    """An empirical CDF over a set of per-page values."""
+
+    def __init__(self, values: Iterable[float]):
+        self.values: List[float] = sorted(values)
+        if not self.values:
+            raise ValueError("empty CDF")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def at(self, x: float) -> float:
+        """Fraction of values <= x."""
+        count = 0
+        for value in self.values:
+            if value <= x:
+                count += 1
+            else:
+                break
+        return count / len(self.values)
+
+    def quantile(self, fraction: float) -> float:
+        return percentile(self.values, fraction)
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def points(self, steps: int = 20) -> List[Tuple[float, float]]:
+        """(value, cumulative fraction) pairs for plotting/printing."""
+        out = []
+        for index, value in enumerate(self.values):
+            out.append((value, (index + 1) / len(self.values)))
+        if steps and len(out) > steps:
+            stride = max(1, len(out) // steps)
+            sampled = out[::stride]
+            if sampled[-1] != out[-1]:
+                sampled.append(out[-1])
+            return sampled
+        return out
+
+    def render(self, label: str = "", width: int = 48) -> str:
+        """A text sparkline of the CDF (monotone by construction)."""
+        lo, hi = self.values[0], self.values[-1]
+        span = (hi - lo) or 1.0
+        cells = [" "] * width
+        for value in self.values:
+            slot = min(width - 1, int((value - lo) / span * (width - 1)))
+            cells[slot] = "*"
+        return f"{label:<18} |{''.join(cells)}| {lo:.2f}..{hi:.2f}"

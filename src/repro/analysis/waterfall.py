@@ -1,0 +1,129 @@
+"""Waterfall rendering: the classic devtools view of one page load.
+
+Turns a :class:`~repro.browser.metrics.LoadMetrics` into a text waterfall
+— one row per resource with discovery/fetch/processing spans on a shared
+time axis — plus summary statistics.  Used by the audit example, the CLI,
+and by humans debugging why a load behaved the way it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.browser.metrics import LoadMetrics, ResourceTimeline
+
+#: Characters used for the span bands.
+_WAIT = "."      # discovered, not yet fetching (scheduler hold)
+_NET = "="       # bytes in flight
+_CPU = "#"       # processing (parse/execute)
+
+
+@dataclass
+class WaterfallRow:
+    """One rendered resource row."""
+
+    url: str
+    kind: str
+    via: str
+    discovered_at: float
+    fetch_started_at: Optional[float]
+    fetched_at: Optional[float]
+    processed_at: Optional[float]
+
+    def render(self, width: int, horizon: float) -> str:
+        cells = [" "] * width
+
+        def slot(time: Optional[float]) -> Optional[int]:
+            if time is None or horizon <= 0:
+                return None
+            return min(width - 1, int(time / horizon * (width - 1)))
+
+        start = slot(self.discovered_at)
+        fetch = slot(self.fetch_started_at)
+        done = slot(self.fetched_at)
+        processed = slot(self.processed_at)
+        if start is not None and fetch is not None:
+            for index in range(start, fetch):
+                cells[index] = _WAIT
+        if fetch is not None and done is not None:
+            for index in range(fetch, max(done, fetch + 1)):
+                cells[index] = _NET
+        if done is not None and processed is not None:
+            for index in range(done, max(processed, done + 1)):
+                cells[index] = _CPU
+        label = self.url[-34:].rjust(34)
+        return f"{label} {self.kind:<5} {self.via:<7} |{''.join(cells)}|"
+
+
+def waterfall_rows(metrics: LoadMetrics) -> List[WaterfallRow]:
+    """Rows for every referenced resource, in discovery order."""
+    rows = []
+    for timeline in metrics.referenced_timelines():
+        if timeline.discovered_at is None:
+            continue
+        rows.append(
+            WaterfallRow(
+                url=timeline.url,
+                kind=(
+                    timeline.resource.rtype.value
+                    if timeline.resource
+                    else "?"
+                ),
+                via=timeline.discovered_via,
+                discovered_at=timeline.discovered_at,
+                fetch_started_at=timeline.fetch_started_at,
+                fetched_at=timeline.fetched_at,
+                processed_at=timeline.processed_at,
+            )
+        )
+    rows.sort(key=lambda row: row.discovered_at)
+    return rows
+
+
+def render_waterfall(
+    metrics: LoadMetrics, width: int = 72, max_rows: int = 40
+) -> str:
+    """Render the load as a text waterfall with a header and legend."""
+    rows = waterfall_rows(metrics)
+    horizon = metrics.plt
+    lines = [
+        f"waterfall of {metrics.page!r}: plt={metrics.plt:.2f}s "
+        f"aft={metrics.aft:.2f}s cpu_busy={metrics.cpu_busy_time:.2f}s",
+        f"legend: '{_WAIT}' scheduled  '{_NET}' network  '{_CPU}' cpu   "
+        f"axis 0..{horizon:.2f}s",
+    ]
+    shown = rows[:max_rows]
+    for row in shown:
+        lines.append(row.render(width, horizon))
+    if len(rows) > max_rows:
+        lines.append(f"... {len(rows) - max_rows} more resources")
+    return "\n".join(lines)
+
+
+def summarize_phases(metrics: LoadMetrics) -> dict:
+    """Aggregate load anatomy: when discovery/fetch/processing finished.
+
+    A compact numerical companion to the waterfall, convenient for
+    comparisons across configurations.
+    """
+    return {
+        "plt": metrics.plt,
+        "aft": metrics.aft,
+        "discovery_complete": metrics.discovery_complete_at(),
+        "high_priority_discovery_complete": metrics.discovery_complete_at(
+            high_priority_only=True
+        ),
+        "fetch_complete": metrics.fetch_complete_at(),
+        "cpu_busy": metrics.cpu_busy_time,
+        "network_wait_fraction": metrics.network_wait_fraction,
+        "bytes_fetched": metrics.bytes_fetched,
+        "wasted_bytes": metrics.wasted_bytes,
+        "resources": len(metrics.referenced_timelines()),
+        "cached": sum(
+            1 for t in metrics.referenced_timelines() if t.from_cache
+        ),
+        "pushed": sum(
+            1 for t in metrics.referenced_timelines() if t.pushed
+        ),
+    }

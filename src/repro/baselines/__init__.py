@@ -1,0 +1,27 @@
+"""Baselines and comparison configurations.
+
+* :mod:`repro.baselines.configs` — every named configuration the paper
+  evaluates (HTTP/1.1, HTTP/2 baseline, the push/hint strawmen, Vroom and
+  its partial-adoption variant).
+* :mod:`repro.baselines.polaris` — a Polaris-style client prioritizer.
+* :mod:`repro.baselines.lower_bound` — the CPU-bound / network-bound
+  bounds of Sec 2.
+"""
+
+from repro.baselines.configs import CONFIG_NAMES, run_config
+from repro.baselines.lower_bound import (
+    cpu_bound_load,
+    lower_bound,
+    network_bound_load,
+)
+from repro.baselines.polaris import PolarisScheduler, polaris_load
+
+__all__ = [
+    "CONFIG_NAMES",
+    "run_config",
+    "cpu_bound_load",
+    "network_bound_load",
+    "lower_bound",
+    "PolarisScheduler",
+    "polaris_load",
+]

@@ -1,0 +1,89 @@
+"""Lower bounds on page load time (paper Sec 2, Fig 2).
+
+The paper estimates how fast a page *could* load if exactly one of the two
+client resources were the bottleneck:
+
+* **Network-bound**: the root HTML is rewritten to list every resource so
+  the browser fetches everything but evaluates nothing; the load runs over
+  the real LTE link.  We reproduce it with ``preknown_urls`` (everything
+  discovered at navigation) and ``cpu_scale=0``.
+* **CPU-bound**: the phone is connected over USB to a desktop hosting all
+  web servers — latency is microscopic and bandwidth is huge, but the full
+  protocol stack and all client-side processing remain.
+
+The per-page lower bound is the max of the two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.browser.engine import BrowserConfig, load_page
+from repro.browser.metrics import LoadMetrics
+from repro.net.http import NetworkConfig
+from repro.net.origin import OriginServer
+from repro.pages.page import PageSnapshot
+
+#: The USB link to the desktop in the paper's CPU-bound setup.
+USB_RTT: float = 0.002
+USB_DOWNLINK_BPS: float = 300.0e6
+USB_UPLINK_BPS: float = 100.0e6
+
+
+def network_bound_load(
+    snapshot: PageSnapshot,
+    servers: Dict[str, OriginServer],
+    net_config: NetworkConfig = None,
+    when_hours: float = 0.0,
+    device: str = "nexus6",
+) -> LoadMetrics:
+    """Fetch-everything/evaluate-nothing load over the real access link."""
+    config = net_config or NetworkConfig()
+    browser = BrowserConfig(
+        device=device,
+        when_hours=when_hours,
+        cpu_scale=0.0,
+        preknown_urls=True,
+    )
+    return load_page(snapshot, servers, config, browser)
+
+
+def cpu_bound_load(
+    snapshot: PageSnapshot,
+    servers: Dict[str, OriginServer],
+    when_hours: float = 0.0,
+    device: str = "nexus6",
+) -> LoadMetrics:
+    """Normal load with all servers one USB hop away."""
+    config = NetworkConfig(
+        base_rtt=USB_RTT,
+        downlink_bps=USB_DOWNLINK_BPS,
+        uplink_bps=USB_UPLINK_BPS,
+    )
+    # The desktop hosts every server locally: no per-domain WAN RTT.
+    local_servers = {
+        domain: OriginServer(domain, server.responder, server_rtt=0.0)
+        for domain, server in servers.items()
+    }
+    browser = BrowserConfig(device=device, when_hours=when_hours)
+    return load_page(snapshot, local_servers, config, browser)
+
+
+def lower_bound(
+    snapshot: PageSnapshot,
+    servers_factory,
+    when_hours: float = 0.0,
+    device: str = "nexus6",
+) -> float:
+    """max(CPU-bound, network-bound) PLT for one page.
+
+    ``servers_factory`` builds a fresh server dict per load (server state
+    is per-simulation and cannot be shared across runs).
+    """
+    cpu = cpu_bound_load(
+        snapshot, servers_factory(), when_hours=when_hours, device=device
+    )
+    net = network_bound_load(
+        snapshot, servers_factory(), when_hours=when_hours, device=device
+    )
+    return max(cpu.plt, net.plt)

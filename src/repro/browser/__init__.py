@@ -1,0 +1,20 @@
+"""Browser substrate: CPU model, cache, parse/blocking semantics, metrics."""
+
+from repro.browser.cpu import CpuProfile, DEVICE_PROFILES
+from repro.browser.cache import BrowserCache, CacheEntry
+from repro.browser.cookies import CookieJar
+from repro.browser.engine import BrowserConfig, PageLoadEngine, load_page
+from repro.browser.metrics import LoadMetrics, ResourceTimeline
+
+__all__ = [
+    "CpuProfile",
+    "DEVICE_PROFILES",
+    "BrowserCache",
+    "CacheEntry",
+    "CookieJar",
+    "BrowserConfig",
+    "PageLoadEngine",
+    "load_page",
+    "LoadMetrics",
+    "ResourceTimeline",
+]

@@ -1,0 +1,99 @@
+"""Browser HTTP cache with freshness lifetimes.
+
+Entries are keyed by URL and stamped with the wall-clock hour they were
+stored.  A lookup at hour ``h`` hits only if the entry is still fresh
+(``h - stored <= max_age_hours``).  Warm-cache experiments (Fig 20) seed a
+cache from a prior load and then check hit/miss behaviour hours or days
+later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.pages.resources import Resource
+
+
+@dataclass
+class CacheEntry:
+    url: str
+    size: int
+    stored_at_hours: float
+    max_age_hours: float
+
+    def fresh_at(self, when_hours: float) -> bool:
+        age = when_hours - self.stored_at_hours
+        return 0.0 <= age <= self.max_age_hours
+
+
+class BrowserCache:
+    """URL-keyed cache honouring per-resource cacheability and max-age."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._entries
+
+    def store(
+        self,
+        url: str,
+        size: int,
+        *,
+        when_hours: float,
+        max_age_hours: float,
+        cacheable: bool = True,
+    ) -> None:
+        if not cacheable or max_age_hours <= 0:
+            return
+        self._entries[url] = CacheEntry(
+            url=url,
+            size=size,
+            stored_at_hours=when_hours,
+            max_age_hours=max_age_hours,
+        )
+
+    def lookup(self, url: str, when_hours: float) -> Optional[CacheEntry]:
+        entry = self._entries.get(url)
+        if entry is not None and entry.fresh_at(when_hours):
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def has_fresh(self, url: str, when_hours: float) -> bool:
+        entry = self._entries.get(url)
+        return entry is not None and entry.fresh_at(when_hours)
+
+    def seed_from_snapshot(
+        self, resources: Iterable[Resource], when_hours: float
+    ) -> int:
+        """Populate the cache as if ``resources`` were fetched at that time.
+
+        Returns the number of entries stored.
+        """
+        stored = 0
+        for resource in resources:
+            if not resource.spec.cacheable:
+                continue
+            self.store(
+                resource.url,
+                resource.size,
+                when_hours=when_hours,
+                max_age_hours=resource.spec.max_age_hours,
+            )
+            stored += 1
+        return stored
+
+    def fresh_urls(self, when_hours: float) -> Dict[str, CacheEntry]:
+        return {
+            url: entry
+            for url, entry in self._entries.items()
+            if entry.fresh_at(when_hours)
+        }

@@ -1,0 +1,42 @@
+"""Per-domain cookie jar.
+
+Vroom's security model hinges on cookies being shared only with the domain
+that set them (Sec 1, Sec 4).  The jar tracks which domains have received
+the user's identity, letting tests assert that no cross-domain leakage ever
+occurs in any configuration — the property proxy-based accelerators break.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+
+class CookieJar:
+    """Tracks cookie material per domain for one user."""
+
+    def __init__(self, user: str):
+        self.user = user
+        self._cookies: Dict[str, str] = {}
+        #: Every domain that has ever seen this user's cookie material.
+        self.domains_shared_with: Set[str] = set()
+
+    def cookie_for(self, domain: str) -> str:
+        """The cookie value sent with a request to ``domain``.
+
+        Setting is implicit: first contact mints a domain-scoped cookie.
+        """
+        if domain not in self._cookies:
+            self._cookies[domain] = f"{self.user}@{domain}"
+        self.domains_shared_with.add(domain)
+        return self._cookies[domain]
+
+    def leaked_across_domains(self) -> bool:
+        """True if any domain's cookie was handed to a different domain.
+
+        Always false by construction here; proxy-style designs would need
+        to violate this API to function, which is exactly the point.
+        """
+        return any(
+            not value.endswith("@" + domain)
+            for domain, value in self._cookies.items()
+        )

@@ -1,0 +1,79 @@
+"""Device registry: the phones and tablets the paper evaluates with.
+
+A :class:`Device` bundles everything the simulation varies per model:
+CPU speed (relative to the Nexus 6), the equivalence class that drives
+responsive-image variants (Sec 4.1.2), and display metadata explaining
+*why* the classes differ.  The registry is the single source of truth;
+`calibration.DEVICE_CPU_SPEEDUP` and `calibration.DEVICE_CLASSES` are
+derived views kept for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.browser.cpu import CpuProfile
+from repro.calibration import DEVICE_CLASSES, DEVICE_CPU_SPEEDUP
+
+
+@dataclass(frozen=True)
+class Device:
+    """One client device model."""
+
+    name: str
+    #: CPU speed relative to the Nexus 6 baseline.
+    cpu_speedup: float
+    #: Equivalence class for offline resolution ("phone" / "tablet").
+    device_class: str
+    #: Viewport CSS pixels (drives which image variants pages serve).
+    viewport: tuple
+    #: Marketing-era description, for reports.
+    description: str = ""
+
+    def cpu_profile(self) -> CpuProfile:
+        return CpuProfile(device=self.name, speedup=self.cpu_speedup)
+
+
+DEVICES: Dict[str, Device] = {
+    "nexus6": Device(
+        name="nexus6",
+        cpu_speedup=1.00,
+        device_class="phone",
+        viewport=(412, 732),
+        description="the paper's primary test device (2014 flagship)",
+    ),
+    "oneplus3": Device(
+        name="oneplus3",
+        cpu_speedup=1.45,
+        device_class="phone",
+        viewport=(412, 732),
+        description="2016 flagship; same display class, faster CPU",
+    ),
+    "nexus10": Device(
+        name="nexus10",
+        cpu_speedup=0.85,
+        device_class="tablet",
+        viewport=(800, 1280),
+        description="tablet; pulls larger responsive-image variants",
+    ),
+}
+
+
+def get_device(name: str) -> Device:
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {name!r}; choose from {sorted(DEVICES)}"
+        ) from None
+
+
+def _check_consistency() -> None:
+    """The derived calibration views must agree with the registry."""
+    for name, device in DEVICES.items():
+        assert DEVICE_CPU_SPEEDUP[name] == device.cpu_speedup, name
+        assert DEVICE_CLASSES[name] == device.device_class, name
+
+
+_check_consistency()

@@ -1,0 +1,245 @@
+"""Central calibration constants for the Vroom reproduction.
+
+Every tunable that maps simulated behaviour onto the numbers reported in the
+paper lives here, so the whole reproduction can be re-calibrated from one
+place.  Times are in seconds unless a name says otherwise; sizes in bytes;
+bandwidths in bits per second.
+
+The targets (from the paper, News + Sports corpus unless noted):
+
+* HTTP/1.1 replay median PLT ~ 10.5 s (Figs 1, 3, 13a)
+* HTTP/2 baseline median PLT ~ 7.3 s (Fig 13a)
+* Vroom median PLT ~ 5.1 s, lower bound ~ 5.0 s (Fig 13a)
+* Alexa top-100 HTTP/1.1 median PLT ~ 5 s (Fig 1)
+* ~30% of the HTTP/2 critical path spent waiting on the network (Fig 4)
+* 22% of median page's URLs change across back-to-back loads (Sec 4.1)
+* Median persistence: ~70% over one hour, ~50% over one week (Fig 7)
+* Online HTML parsing overhead ~ 100 ms median (Sec 4.1.2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+# ---------------------------------------------------------------------------
+# Network: LTE access link + servers (replay setup of Fig 12)
+# ---------------------------------------------------------------------------
+
+#: Downlink bandwidth of the emulated LTE access link.  Verizon LTE with
+#: excellent signal delivered roughly 10 Mbps in the paper's era.
+LTE_DOWNLINK_BPS: float = 10.0e6
+
+#: Uplink bandwidth (requests are small; rarely the bottleneck).
+LTE_UPLINK_BPS: float = 4.0e6
+
+#: One-way is half of this.  LTE last-mile round trip.
+LTE_RTT: float = 0.070
+
+#: Per-domain additional RTT (desktop <-> origin server during recording),
+#: sampled uniformly from this range per domain.
+SERVER_RTT_RANGE: tuple = (0.020, 0.120)
+
+#: DNS lookup latency, paid once per domain.
+DNS_LOOKUP_TIME: float = 0.050
+
+#: Round trips consumed by the TLS handshake (TLS 1.2 era).
+TLS_HANDSHAKE_RTTS: int = 2
+
+#: Maximum parallel HTTP/1.1 connections a browser opens per domain.
+HTTP1_MAX_CONNS_PER_DOMAIN: int = 6
+
+#: Fixed server think time for static resources.
+SERVER_THINK_TIME: float = 0.015
+
+#: Extra server think time for (dynamically generated) HTML responses.
+SERVER_HTML_THINK_TIME: float = 0.060
+
+#: Extra latency a Vroom-compliant server spends parsing HTML on the fly
+#: (the paper measures a ~100 ms median across the top-1000 landing pages).
+VROOM_ONLINE_PARSE_OVERHEAD: float = 0.100
+
+#: Approximate bytes of HTTP request + headers on the uplink.
+REQUEST_BYTES: int = 600
+
+#: Extra per-request latency under HTTP/1.1: uncompressed headers plus an
+#: LTE uplink scheduling grant for each discrete request transmission.
+#: HTTP/2 batches requests on one busy connection and compresses headers,
+#: amortising this away.
+HTTP1_REQUEST_OVERHEAD: float = 0.055
+
+#: Approximate bytes of response headers (counted against the downlink).
+RESPONSE_HEADER_BYTES: int = 450
+
+#: Extra response-header bytes per hinted URL (Link / x-semi-important /
+#: x-unimportant header lines are ~80 bytes per entry).
+HINT_HEADER_BYTES_PER_URL: int = 80
+
+
+# ---------------------------------------------------------------------------
+# Client CPU cost model (Nexus 6 class device; single-threaded renderer)
+# ---------------------------------------------------------------------------
+
+#: Seconds of CPU per byte to parse HTML.
+CPU_HTML_PARSE_PER_BYTE: float = 4.5e-6
+
+#: Seconds of CPU per byte to evaluate JavaScript.
+CPU_JS_EXEC_PER_BYTE: float = 5.6e-6
+
+#: Seconds of CPU per byte to parse CSS.
+CPU_CSS_PARSE_PER_BYTE: float = 2.8e-6
+
+#: Seconds of CPU per byte to decode an image (off the blocking path).
+CPU_IMAGE_DECODE_PER_BYTE: float = 0.25e-6
+
+#: Fixed per-resource CPU overhead (task scheduling, style/layout nudges).
+CPU_PER_RESOURCE_OVERHEAD: float = 0.004
+
+#: Layout/paint work triggered at the end of the root document parse.
+CPU_LAYOUT_TIME: float = 0.120
+
+#: CPU speed multipliers per device, relative to the Nexus 6.
+DEVICE_CPU_SPEEDUP: Dict[str, float] = {
+    "nexus6": 1.00,
+    "oneplus3": 1.45,
+    "nexus10": 0.85,
+}
+
+
+# ---------------------------------------------------------------------------
+# Page corpus statistics (HTTP Archive–style calibration)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CorpusProfile:
+    """Statistical profile from which a corpus of pages is synthesised."""
+
+    name: str
+    #: (mean, sd) of resource count per page.
+    resource_count: tuple = (100, 25)
+    #: (mean, sd) of total page bytes.
+    total_bytes: tuple = (1.6e6, 0.5e6)
+    #: Target fraction of bytes in processable resources (HTML/CSS/JS).
+    processable_byte_share: float = 0.25
+    #: (mean, sd) of number of distinct domains.
+    domain_count: tuple = (18, 6)
+    #: (mean, sd) of maximum dependency-chain depth.
+    chain_depth: tuple = (6, 1.5)
+    #: Number of third-party iframes (ads, social widgets): (mean, sd).
+    iframe_count: tuple = (2, 1)
+    #: Fraction of resources that are script-computed (found only by JS).
+    script_computed_frac: float = 0.24
+    #: Fraction of resources that carry a per-load nonce (ads/analytics).
+    unpredictable_frac: float = 0.30
+    #: Fraction of resources that rotate with page content (stories).
+    rotating_frac: float = 0.25
+    #: (mean, sd) of the rotation lifetime in hours for rotating resources.
+    rotation_lifetime_hours: tuple = (18.0, 30.0)
+    #: Fraction of resources whose URL depends on the device class.
+    device_dependent_frac: float = 0.10
+    #: Fraction of resources personalised per (user, domain).
+    personalized_frac: float = 0.01
+    #: Fraction of resources that are cacheable.
+    cacheable_frac: float = 0.75
+    #: Fraction of async (non-parser-blocking) scripts among scripts.
+    async_script_frac: float = 0.22
+    #: Fraction of resources rendered above the fold.
+    above_fold_frac: float = 0.30
+
+
+#: Complex, ad-heavy pages (top-50 News + top-50 Sports).
+NEWS_SPORTS_PROFILE = CorpusProfile(
+    name="news_sports",
+    resource_count=(150, 45),
+    total_bytes=(2.6e6, 0.9e6),
+    processable_byte_share=0.27,
+    domain_count=(30, 9),
+    chain_depth=(12, 2),
+    iframe_count=(3, 1),
+    script_computed_frac=0.26,
+    unpredictable_frac=0.36,
+    rotating_frac=0.30,
+    rotation_lifetime_hours=(12.0, 24.0),
+)
+
+#: The Alexa US top-100 overall (lighter mix of pages).
+ALEXA_TOP100_PROFILE = CorpusProfile(
+    name="alexa_top100",
+    resource_count=(75, 30),
+    total_bytes=(1.3e6, 0.6e6),
+    domain_count=(14, 6),
+    chain_depth=(4, 1),
+    iframe_count=(1, 1),
+)
+
+#: 100 random sites from the Alexa top-400 (Sec 6.1).
+ALEXA_TOP400_PROFILE = CorpusProfile(
+    name="alexa_top400",
+    resource_count=(85, 35),
+    total_bytes=(1.4e6, 0.6e6),
+    domain_count=(16, 7),
+)
+
+#: Shopping-site landing pages: the paper's example of content that
+#: "changes often" (product rotations) — high churn, short lifetimes.
+SHOPPING_PROFILE = CorpusProfile(
+    name="shopping",
+    resource_count=(110, 35),
+    total_bytes=(1.8e6, 0.6e6),
+    domain_count=(20, 7),
+    chain_depth=(8, 2),
+    iframe_count=(2, 1),
+    rotating_frac=0.45,
+    rotation_lifetime_hours=(6.0, 10.0),
+    unpredictable_frac=0.30,
+)
+
+
+# ---------------------------------------------------------------------------
+# Vroom / experiment parameters
+# ---------------------------------------------------------------------------
+
+#: How often the offline resolver reloads each page (hours).
+OFFLINE_LOAD_PERIOD_HOURS: float = 1.0
+
+#: How many recent offline loads are intersected to form the stable set.
+OFFLINE_WINDOW_LOADS: int = 3
+
+#: Device equivalence classes used by offline resolution.  Phones share a
+#: class; tablets get their own (display class drives image variants).
+DEVICE_CLASSES: Dict[str, str] = {
+    "nexus6": "phone",
+    "oneplus3": "phone",
+    "nexus10": "tablet",
+}
+
+#: Default wall-clock hour at which evaluation loads happen.
+DEFAULT_EVAL_HOUR: float = 1000.0
+
+
+@dataclass
+class PaperTargets:
+    """Headline numbers from the paper used by EXPERIMENTS.md reporting."""
+
+    http1_median_plt: float = 10.5
+    http2_median_plt: float = 7.3
+    vroom_median_plt: float = 5.1
+    lower_bound_median_plt: float = 5.0
+    polaris_median_plt: float = 6.4
+    alexa400_http2_median_plt: float = 4.8
+    alexa400_vroom_median_plt: float = 4.0
+    partial_adoption_median_plt: float = 5.6
+    critical_path_network_frac: float = 0.30
+    vroom_fn_median: float = 0.05
+    offline_fn_max: float = 0.40
+    discovery_improvement_all: float = 0.22
+    discovery_improvement_high: float = 0.16
+    fetch_improvement_all: float = 0.22
+    fetch_improvement_high: float = 0.12
+    warm_cache_gain: Dict[str, float] = field(
+        default_factory=lambda: {"b2b": 1.6, "1day": 2.2, "1week": 2.1}
+    )
+
+
+PAPER_TARGETS = PaperTargets()

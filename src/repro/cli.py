@@ -1,0 +1,301 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``load``      simulate one page under one or more configurations
+``waterfall`` render a page load as a text waterfall
+``audit``     show what a Vroom server would return for a page
+``figure``    regenerate one of the paper's figures
+``configs``   list the available named configurations
+``profiles``  list the available network profiles
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.stats import Cdf
+from repro.analysis.waterfall import render_waterfall, summarize_phases
+from repro.baselines.configs import CONFIG_NAMES, run_config
+from repro.calibration import DEFAULT_EVAL_HOUR
+from repro.pages.corpus import (
+    accuracy_corpus,
+    alexa_top100_corpus,
+    alexa_top400_sample_corpus,
+    news_sports_corpus,
+)
+from repro.pages.dynamics import LoadStamp
+from repro.replay.recorder import record_snapshot
+
+CORPORA = {
+    "news": news_sports_corpus,
+    "alexa100": alexa_top100_corpus,
+    "alexa400": alexa_top400_sample_corpus,
+    "accuracy": accuracy_corpus,
+}
+
+
+def _page(args):
+    if getattr(args, "blueprint", None):
+        from repro.pages.serialization import load_blueprint
+
+        return load_blueprint(args.blueprint)
+    corpus = CORPORA[args.corpus](count=args.index + 1)
+    return corpus[args.index]
+
+
+def _stamp(args) -> LoadStamp:
+    return LoadStamp(
+        when_hours=DEFAULT_EVAL_HOUR,
+        device=args.device,
+        user=args.user,
+    )
+
+
+def _add_page_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--corpus", choices=sorted(CORPORA), default="news",
+        help="which synthetic corpus to draw the page from",
+    )
+    parser.add_argument(
+        "--index", type=int, default=0, help="page index within the corpus"
+    )
+    parser.add_argument("--device", default="nexus6")
+    parser.add_argument("--user", default="user0")
+    parser.add_argument(
+        "--blueprint",
+        default=None,
+        help="load the page from a blueprint JSON file instead of a corpus",
+    )
+
+
+def cmd_load(args) -> int:
+    page = _page(args)
+    snapshot = page.materialize(_stamp(args))
+    store = record_snapshot(snapshot)
+    print(
+        f"page {page.name!r}: {len(snapshot.all_resources())} resources, "
+        f"{snapshot.total_bytes() / 1e6:.2f} MB, "
+        f"{len(snapshot.domains())} domains"
+    )
+    print(f"{'config':<24} {'PLT':>7} {'AFT':>7} {'SI':>7} {'waste':>8}")
+    for config in args.configs:
+        metrics = run_config(config, page, snapshot, store)
+        print(
+            f"{config:<24} {metrics.plt:6.2f}s {metrics.aft:6.2f}s "
+            f"{metrics.speed_index:6.0f} {metrics.wasted_bytes / 1e3:6.0f}KB"
+        )
+    return 0
+
+
+def cmd_waterfall(args) -> int:
+    page = _page(args)
+    snapshot = page.materialize(_stamp(args))
+    store = record_snapshot(snapshot)
+    metrics = run_config(args.config, page, snapshot, store)
+    print(render_waterfall(metrics, max_rows=args.rows))
+    print()
+    for key, value in summarize_phases(metrics).items():
+        print(f"{key:<34} {value:,.3f}" if isinstance(value, float) else
+              f"{key:<34} {value}")
+    return 0
+
+
+def cmd_audit(args) -> int:
+    from repro.analysis.accuracy import predictable_partition, score_strategy
+    from repro.core.resolver import ResolutionStrategy, VroomResolver
+    from repro.pages.resources import Priority
+
+    page = _page(args)
+    stamp = _stamp(args)
+    snapshot = page.materialize(stamp)
+    resolver = VroomResolver(page)
+    bundle = resolver.hints_for(snapshot.root, as_of_hours=stamp.when_hours)
+    print(f"hints on {snapshot.root.url}:")
+    for priority in Priority:
+        urls = [h.url for h in bundle.by_priority(priority)]
+        print(f"  {priority.name}: {len(urls)} URLs")
+        for url in urls[: args.rows]:
+            print(f"    {url}")
+        if len(urls) > args.rows:
+            print(f"    ... {len(urls) - args.rows} more")
+    predictable, unpredictable, _ = predictable_partition(page, stamp)
+    print(
+        f"\npredictable subset: {len(predictable)} URLs; "
+        f"left to client: {len(unpredictable)}"
+    )
+    result = score_strategy(page, stamp, ResolutionStrategy.VROOM)
+    print(
+        f"accuracy: FN {result.fn_rate:.1%}  FP {result.fp_rate:.1%} "
+        "(fractions of the predictable subset)"
+    )
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from repro.experiments import extensions, figures
+
+    name = args.name.replace("-", "_")
+    func = getattr(figures, name, None) or getattr(extensions, name, None)
+    if func is None:
+        available = sorted(
+            attr
+            for module in (figures, extensions)
+            for attr in vars(module)
+            if not attr.startswith("_")
+            and callable(getattr(module, attr))
+            and attr not in ("LoadStamp",)
+        )
+        print(f"unknown figure {args.name!r}; available: {available}")
+        return 2
+    kwargs = {}
+    if args.count is not None:
+        kwargs["count"] = args.count
+    result = func(**kwargs)
+    _print_result(args.name, result)
+    return 0
+
+
+def _print_result(title: str, result) -> None:
+    print(f"== {title} ==")
+    if not isinstance(result, dict):
+        print(result)
+        return
+    for key, value in result.items():
+        if isinstance(value, list) and value and isinstance(value[0], float):
+            print(Cdf(value).render(key))
+        elif isinstance(value, dict):
+            print(f"{key}:")
+            for inner_key, inner_value in value.items():
+                print(f"  {inner_key}: {inner_value}")
+        else:
+            print(f"{key}: {value}")
+
+
+def cmd_report(args) -> int:
+    """A full comparison report for one page across configurations."""
+    from repro.analysis.critical_path import critical_path_composition
+    from repro.analysis.waterfall import summarize_phases
+
+    page = _page(args)
+    snapshot = page.materialize(_stamp(args))
+    store = record_snapshot(snapshot)
+    print(
+        f"# Report: {page.name!r} — {len(snapshot.all_resources())} "
+        f"resources, {snapshot.total_bytes() / 1e6:.2f} MB, "
+        f"{len(snapshot.domains())} domains\n"
+    )
+    header = (
+        f"{'config':<18} {'PLT':>7} {'AFT':>7} {'SI':>7} "
+        f"{'cpu%':>5} {'net-frac':>9} {'waste':>8}"
+    )
+    print(header)
+    results = {}
+    for config in args.configs:
+        metrics = run_config(config, page, snapshot, store)
+        results[config] = metrics
+        print(
+            f"{config:<18} {metrics.plt:6.2f}s {metrics.aft:6.2f}s "
+            f"{metrics.speed_index:6.0f} "
+            f"{metrics.cpu_utilization:4.0%} "
+            f"{metrics.network_wait_fraction:8.2f} "
+            f"{metrics.wasted_bytes / 1e3:6.0f}KB"
+        )
+    print()
+    for config, metrics in results.items():
+        print(f"## {config}")
+        composition = critical_path_composition(
+            metrics, first_party_domain=f"{page.name}.com"
+        )
+        print(composition.describe())
+        phases = summarize_phases(metrics)
+        print(
+            f"discovery done {phases['discovery_complete']:.2f}s, "
+            f"fetches done {phases['fetch_complete']:.2f}s, "
+            f"{phases['pushed']} pushed, {phases['cached']} cached\n"
+        )
+    return 0
+
+
+def cmd_configs(_args) -> int:
+    for name in CONFIG_NAMES:
+        print(name)
+    return 0
+
+
+def cmd_profiles(_args) -> int:
+    from repro.net.profiles import PROFILES
+
+    for name, net_profile in PROFILES.items():
+        print(
+            f"{name:<12} {net_profile.downlink_bps / 1e6:6.2f} Mbps down, "
+            f"{net_profile.rtt * 1000:5.0f} ms RTT"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Vroom (SIGCOMM 2017) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    load = commands.add_parser("load", help="simulate page loads")
+    _add_page_args(load)
+    load.add_argument(
+        "--configs",
+        nargs="+",
+        default=["http1", "http2", "vroom"],
+        choices=CONFIG_NAMES,
+    )
+    load.set_defaults(func=cmd_load)
+
+    waterfall = commands.add_parser("waterfall", help="render a waterfall")
+    _add_page_args(waterfall)
+    waterfall.add_argument("--config", default="vroom", choices=CONFIG_NAMES)
+    waterfall.add_argument("--rows", type=int, default=30)
+    waterfall.set_defaults(func=cmd_waterfall)
+
+    audit = commands.add_parser("audit", help="inspect server-side hints")
+    _add_page_args(audit)
+    audit.add_argument("--rows", type=int, default=5)
+    audit.set_defaults(func=cmd_audit)
+
+    report = commands.add_parser(
+        "report", help="full comparison report for one page"
+    )
+    _add_page_args(report)
+    report.add_argument(
+        "--configs",
+        nargs="+",
+        default=["http2", "vroom"],
+        choices=CONFIG_NAMES,
+    )
+    report.set_defaults(func=cmd_report)
+
+    figure = commands.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name", help="e.g. fig13_headline, adoption_sweep")
+    figure.add_argument("--count", type=int, default=None)
+    figure.set_defaults(func=cmd_figure)
+
+    commands.add_parser(
+        "configs", help="list named configurations"
+    ).set_defaults(func=cmd_configs)
+    commands.add_parser(
+        "profiles", help="list network profiles"
+    ).set_defaults(func=cmd_profiles)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Server push policies (Sec 4.3 and the strawmen of Figs 18/19).
+
+A Vroom-compliant server, answering a request for an HTML object, pushes
+the content of only the *high-priority, same-domain* dependencies it
+identified; everything else travels as dependency hints.  The strawmen
+evaluated in the paper vary along two axes: what gets pushed, and whether
+hints are sent at all.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+from repro.core.hints import HintBundle
+from repro.pages.resources import Priority
+
+
+class PushPolicy(enum.Enum):
+    """What a server pushes alongside an HTML response."""
+
+    #: Vroom: push same-domain high-priority (processable) dependencies.
+    HIGH_PRIORITY_LOCAL = "high_priority_local"
+    #: Push every same-domain static dependency ("Push All" strawmen).
+    ALL_LOCAL = "all_local"
+    #: Push nothing.
+    NONE = "none"
+
+
+def select_pushes(
+    policy: PushPolicy,
+    bundle: HintBundle,
+    serving_domain: str,
+) -> List[str]:
+    """URLs the server will push, in hint (processing) order.
+
+    Only same-domain content is ever pushed: a server cannot securely push
+    bytes for another origin (Sec 3.1) — that constraint is structural,
+    not a policy choice.
+    """
+    if policy is PushPolicy.NONE:
+        return []
+    pushes = []
+    for hint in bundle:
+        domain = hint.url.partition("/")[0]
+        if domain != serving_domain:
+            continue
+        if (
+            policy is PushPolicy.HIGH_PRIORITY_LOCAL
+            and hint.priority is not Priority.PRELOAD
+        ):
+            continue
+        pushes.append(hint.url)
+    return pushes

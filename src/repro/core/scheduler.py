@@ -1,0 +1,213 @@
+"""Vroom's client-side staged request scheduler (Secs 4.3 and 5.2).
+
+The scheduler consumes dependency hints from response headers and fetches
+in three stages: ``Link preload`` URLs immediately and in processing
+order, ``x-semi-important`` once every known high-priority URL has been
+received, and ``x-unimportant`` once the semi-important stage drains too.
+Resources the parser needs *right now* (discovered locally) always fetch
+immediately regardless of stage — the stages only gate hint-driven
+prefetches.
+
+The reference implementation is a JavaScript scheduler injected at the top
+of the page (Sec 5.2); because JavaScript is single-threaded, stage
+transitions only happen when the main thread is idle.  ``js_single_thread``
+reproduces that delay; turning it off models the scheduler living inside
+the browser (the paper's "future work" variant).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.browser.engine import FetchPolicy, network_priority
+from repro.core.hints import DependencyHint, HintBundle
+from repro.net.http import Fetch
+from repro.pages.resources import Priority
+
+#: Network priority used for hint-driven prefetches, by stage.
+_STAGE_NET_PRIORITY = {
+    Priority.PRELOAD: 1.0,
+    Priority.SEMI_IMPORTANT: 2.5,
+    Priority.UNIMPORTANT: 4.5,
+}
+
+
+class VroomScheduler(FetchPolicy):
+    """Staged, hint-driven fetch policy."""
+
+    def __init__(self, js_single_thread: bool = True):
+        self.js_single_thread = js_single_thread
+        #: Hinted URLs by priority class, in arrival (processing) order.
+        self._hinted: Dict[Priority, List[str]] = {
+            Priority.PRELOAD: [],
+            Priority.SEMI_IMPORTANT: [],
+            Priority.UNIMPORTANT: [],
+        }
+        self._seen_hints: Set[str] = set()
+        self._fetched: Set[str] = set()
+        self._requested: Set[str] = set()
+        self._stage = Priority.PRELOAD
+        self._stage_check_pending = False
+
+    # -- FetchPolicy interface ---------------------------------------------------
+
+    def on_discovered(self, url: str, via: str) -> None:
+        """Locally discovered resources are needed now: fetch immediately."""
+        if via in ("hint",):
+            return
+        resource = self.engine.snapshot_urls.get(url)
+        self._request(url, network_priority(resource))
+
+    def ensure_fetch(self, url: str) -> None:
+        resource = self.engine.snapshot_urls.get(url)
+        self._request(url, network_priority(resource))
+
+    def on_headers(self, fetch: Fetch) -> None:
+        """Dependency hints ride response headers of HTML objects."""
+        response = fetch.response
+        if response is None or not response.hints:
+            return
+        bundle = _as_bundle(fetch.url, response.hints)
+        for hint in bundle:
+            if hint.url in self._seen_hints:
+                continue
+            self._seen_hints.add(hint.url)
+            self._hinted[hint.priority].append(hint.url)
+            # Hints reveal every domain the load will touch; start the
+            # handshakes now so later stages find warm connections.
+            self.engine.client.preconnect(hint.url.partition("/")[0])
+            state = self.engine.state_of(hint.url)
+            if state.timeline.discovered_at is None:
+                state.timeline.discovered_at = self.engine.sim.now
+                state.timeline.discovered_via = "hint"
+                state.timeline.discovered_from = fetch.url
+        self._pump()
+
+    def on_fetched(self, url: str) -> None:
+        self._fetched.add(url)
+        self._schedule_stage_check()
+
+    # -- staging ----------------------------------------------------------------
+
+    def _request(self, url: str, priority: float) -> None:
+        if url in self._requested:
+            return
+        self._requested.add(url)
+        self.engine.start_fetch(url, priority=priority)
+
+    def _pump(self) -> None:
+        """Issue hint-driven fetches allowed by the current stage."""
+        stages = [Priority.PRELOAD]
+        if self._stage >= Priority.SEMI_IMPORTANT:
+            stages.append(Priority.SEMI_IMPORTANT)
+        if self._stage >= Priority.UNIMPORTANT:
+            stages.append(Priority.UNIMPORTANT)
+        for stage in stages:
+            for url in self._hinted[stage]:
+                self._request(url, _STAGE_NET_PRIORITY[stage])
+
+    def _stage_complete(self, stage: Priority) -> bool:
+        """All currently known URLs of ``stage`` have been received."""
+        return all(url in self._fetched for url in self._hinted[stage])
+
+    def _schedule_stage_check(self) -> None:
+        """Advance stages; with a JS scheduler this waits for CPU idle."""
+        if self._stage_check_pending:
+            return
+        self._stage_check_pending = True
+        if self.js_single_thread:
+            self.engine.cpu.between_tasks(self._stage_check)
+        else:
+            self.engine.sim.call_soon(self._stage_check)
+
+    def _stage_check(self) -> None:
+        self._stage_check_pending = False
+        advanced = False
+        if self._stage is Priority.PRELOAD and self._stage_complete(
+            Priority.PRELOAD
+        ):
+            self._stage = Priority.SEMI_IMPORTANT
+            advanced = True
+        if self._stage is Priority.SEMI_IMPORTANT and self._stage_complete(
+            Priority.SEMI_IMPORTANT
+        ):
+            self._stage = Priority.UNIMPORTANT
+            advanced = True
+        if advanced:
+            self._pump()
+
+    # -- introspection (used by tests) ------------------------------------------
+
+    @property
+    def stage(self) -> Priority:
+        return self._stage
+
+    def hinted_urls(self) -> Set[str]:
+        return set(self._seen_hints)
+
+
+class TwoStageScheduler(VroomScheduler):
+    """Ablation: collapse Table 1's taxonomy to two classes.
+
+    Semi-important resources ride with the preload stage; only
+    unimportant content is held back.  Measures what the middle class
+    buys — async scripts are processable, so pulling them forward steals
+    bandwidth from the parser-blocking set.
+    """
+
+    def on_headers(self, fetch: Fetch) -> None:
+        response = fetch.response
+        if response is None or not response.hints:
+            return
+        promoted = []
+        for hint in _as_bundle(fetch.url, response.hints):
+            if hint.priority is Priority.SEMI_IMPORTANT:
+                hint = DependencyHint(
+                    url=hint.url,
+                    priority=Priority.PRELOAD,
+                    order=hint.order + 5_000,  # after true preloads
+                    size_estimate=hint.size_estimate,
+                )
+            promoted.append(hint)
+        response = type(response)(
+            url=response.url,
+            size=response.size,
+            think_time=response.think_time,
+            hints=promoted,
+            pushes=response.pushes,
+            meta=response.meta,
+            cacheable=response.cacheable,
+        )
+        fetch.response = response
+        super().on_headers(fetch)
+
+
+class FetchAsapScheduler(FetchPolicy):
+    """The "Fetch ASAP" strawman: fetch every hint the moment it arrives."""
+
+    def on_headers(self, fetch: Fetch) -> None:
+        response = fetch.response
+        if response is None or not response.hints:
+            return
+        for hint in _as_bundle(fetch.url, response.hints):
+            state = self.engine.state_of(hint.url)
+            if state.timeline.discovered_at is None:
+                state.timeline.discovered_at = self.engine.sim.now
+                state.timeline.discovered_via = "hint"
+                state.timeline.discovered_from = fetch.url
+            resource = self.engine.snapshot_urls.get(hint.url)
+            self.engine.start_fetch(
+                hint.url, priority=network_priority(resource)
+            )
+
+
+def _as_bundle(source_url: str, hints: List) -> HintBundle:
+    """Response.hints is either a HintBundle or a list of DependencyHint."""
+    if isinstance(hints, HintBundle):
+        return hints
+    bundle = HintBundle(source_url=source_url)
+    for hint in hints:
+        if not isinstance(hint, DependencyHint):
+            raise TypeError(f"unexpected hint object {hint!r}")
+        bundle.add(hint)
+    return bundle

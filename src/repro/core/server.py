@@ -1,0 +1,151 @@
+"""Vroom-compliant origin servers: replay servers + hints + push.
+
+``vroom_servers`` wraps a recorded page into per-domain origin servers
+whose HTML responses carry dependency hints and trigger pushes, per a
+:class:`~repro.core.resolver.ResolutionStrategy` and a
+:class:`~repro.core.push_policy.PushPolicy`.  Partial-adoption experiments
+restrict the behaviour to a subset of domains (Sec 6.1's first-party-only
+scenario); every other domain behaves as a plain HTTP/2 server.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.calibration import VROOM_ONLINE_PARSE_OVERHEAD
+from repro.core.hints import HintBundle
+from repro.core.offline import OfflineResolver
+from repro.core.push_policy import PushPolicy, select_pushes
+from repro.core.resolver import ResolutionStrategy, VroomResolver
+from repro.net.origin import OriginServer, Response
+from repro.pages.page import PageBlueprint, PageSnapshot
+from repro.replay.replayer import ResponseDecorator, build_servers
+from repro.replay.store import RecordedResponse, ReplayStore
+
+
+def first_party_domains(page: PageBlueprint) -> Set[str]:
+    """Domains controlled by the page's own organisation."""
+    return {f"{page.name}.com"}
+
+
+def make_vroom_decorator(
+    page: PageBlueprint,
+    snapshot: PageSnapshot,
+    *,
+    strategy: ResolutionStrategy = ResolutionStrategy.VROOM,
+    push_policy: PushPolicy = PushPolicy.HIGH_PRIORITY_LOCAL,
+    send_hints: bool = True,
+    adopting_domains: Optional[Set[str]] = None,
+    as_of_hours: Optional[float] = None,
+    device_class: str = "phone",
+    resolver: Optional[VroomResolver] = None,
+) -> ResponseDecorator:
+    """Response decorator adding hints/pushes to HTML responses.
+
+    ``adopting_domains`` of ``None`` means universal adoption.  Hints for
+    every document are precomputed once (they depend only on the snapshot
+    and the offline database, not on request timing).
+    """
+    resolver = resolver or VroomResolver(page, strategy=strategy)
+    when = as_of_hours if as_of_hours is not None else snapshot.stamp.when_hours
+    bundles: Dict[str, HintBundle] = {}
+    uses_online = strategy in (
+        ResolutionStrategy.VROOM,
+        ResolutionStrategy.ONLINE_ONLY,
+    )
+    for doc in snapshot.documents():
+        if adopting_domains is not None and doc.domain not in adopting_domains:
+            continue
+        bundles[doc.url] = resolver.hints_for(
+            doc, as_of_hours=when, device_class=device_class
+        )
+
+    def decorate(
+        recorded: RecordedResponse, response: Response, is_push: bool
+    ) -> Response:
+        if not recorded.is_html or is_push:
+            return response
+        bundle = bundles.get(recorded.url)
+        if bundle is None:
+            return response
+        if send_hints:
+            response.hints = list(bundle)
+        response.pushes = select_pushes(push_policy, bundle, recorded.domain)
+        if uses_online:
+            response.think_time += VROOM_ONLINE_PARSE_OVERHEAD
+        return response
+
+    return decorate
+
+
+def hinted_extra_content(
+    page: PageBlueprint,
+    snapshot: PageSnapshot,
+    resolver: VroomResolver,
+    *,
+    as_of_hours: float,
+    device_class: str = "phone",
+    adopting_domains: Optional[Set[str]] = None,
+) -> Dict[str, RecordedResponse]:
+    """Servable bodies for hinted URLs absent from this load.
+
+    Server false positives (stale offline entries, the online-only
+    strawman's own nonce URLs) are fetched by the client even though the
+    page never references them; origin servers must have *something* to
+    return.  Sizes come from the resolver's own exemplars.
+    """
+    known = set(snapshot.urls())
+    extra: Dict[str, RecordedResponse] = {}
+    for doc in snapshot.documents():
+        if adopting_domains is not None and doc.domain not in adopting_domains:
+            continue
+        bundle = resolver.hints_for(
+            doc, as_of_hours=as_of_hours, device_class=device_class
+        )
+        for hint in bundle:
+            if hint.url in known or hint.url in extra:
+                continue
+            extra[hint.url] = RecordedResponse(
+                url=hint.url,
+                domain=hint.url.partition("/")[0],
+                size=max(hint.size_estimate, 600),
+                is_html=hint.url.endswith(".html"),
+            )
+    return extra
+
+
+def vroom_servers(
+    page: PageBlueprint,
+    snapshot: PageSnapshot,
+    store: ReplayStore,
+    *,
+    strategy: ResolutionStrategy = ResolutionStrategy.VROOM,
+    push_policy: PushPolicy = PushPolicy.HIGH_PRIORITY_LOCAL,
+    send_hints: bool = True,
+    adopting_domains: Optional[Set[str]] = None,
+    offline: Optional[OfflineResolver] = None,
+    atf_first: bool = False,
+) -> Dict[str, OriginServer]:
+    """Per-domain servers implementing the chosen Vroom configuration."""
+    resolver = VroomResolver(
+        page, strategy=strategy, offline=offline, atf_first=atf_first
+    )
+    when = snapshot.stamp.when_hours
+    decorator = make_vroom_decorator(
+        page,
+        snapshot,
+        strategy=strategy,
+        push_policy=push_policy,
+        send_hints=send_hints,
+        adopting_domains=adopting_domains,
+        as_of_hours=when,
+        resolver=resolver,
+    )
+    extra = hinted_extra_content(
+        page,
+        snapshot,
+        resolver,
+        as_of_hours=when,
+        adopting_domains=adopting_domains,
+    )
+    return build_servers(store, decorator=decorator, extra_content=extra)

@@ -1,0 +1,10 @@
+"""Experiment harness and per-figure regeneration functions."""
+
+from repro.experiments.harness import (
+    ExperimentRun,
+    load_once,
+    sweep_configs,
+)
+from repro.experiments import figures
+
+__all__ = ["ExperimentRun", "load_once", "sweep_configs", "figures"]

@@ -1,0 +1,115 @@
+"""The full Sec 6.2 accuracy methodology: multiple users, hourly loads.
+
+The paper evaluates server-side dependency resolution on 265 pages loaded
+"once every hour for a week from the perspective of four users, whose
+cookies are seeded by visiting the landing pages of the top 50 pages in
+the Business, Health, Computers, and Shopping/Vehicles Alexa categories".
+This module reproduces that protocol: per-user, per-hour FP/FN scoring,
+aggregated the way Fig 21 aggregates (distribution across page loads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.accuracy import score_strategy
+from repro.calibration import DEFAULT_EVAL_HOUR
+from repro.core.resolver import ResolutionStrategy
+from repro.pages.dynamics import LoadStamp
+from repro.pages.page import PageBlueprint
+
+#: The four user personas of Sec 6.2, named for their seeded categories.
+USERS = ("business", "health", "computers", "shopping")
+
+
+@dataclass
+class AccuracySweep:
+    """FP/FN distributions across (page, user, hour) loads."""
+
+    strategy: ResolutionStrategy
+    fn_rates: List[float]
+    fp_rates: List[float]
+
+    def __len__(self) -> int:
+        return len(self.fn_rates)
+
+
+def sweep_accuracy(
+    pages: Sequence[PageBlueprint],
+    strategy: ResolutionStrategy,
+    *,
+    users: Sequence[str] = USERS,
+    hours: Sequence[float] = (0.0,),
+    base_hour: float = DEFAULT_EVAL_HOUR,
+    device: str = "nexus6",
+) -> AccuracySweep:
+    """Score ``strategy`` across pages x users x hours."""
+    fn_rates: List[float] = []
+    fp_rates: List[float] = []
+    for page in pages:
+        for user in users:
+            for offset in hours:
+                stamp = LoadStamp(
+                    when_hours=base_hour + offset,
+                    device=device,
+                    user=user,
+                    nonce=int(offset * 7919),
+                )
+                result = score_strategy(page, stamp, strategy)
+                fn_rates.append(result.fn_rate)
+                fp_rates.append(result.fp_rate)
+    return AccuracySweep(
+        strategy=strategy, fn_rates=fn_rates, fp_rates=fp_rates
+    )
+
+
+def multi_user_accuracy(
+    count: int = 20,
+    hours: Sequence[float] = (0.0, 5.0, 23.0),
+) -> Dict[str, List[float]]:
+    """Fig 21's metrics under the full multi-user, multi-hour protocol."""
+    from repro.pages.corpus import accuracy_corpus
+
+    pages = accuracy_corpus(count)
+    out: Dict[str, List[float]] = {}
+    for strategy in (
+        ResolutionStrategy.VROOM,
+        ResolutionStrategy.OFFLINE_ONLY,
+        ResolutionStrategy.ONLINE_ONLY,
+    ):
+        sweep = sweep_accuracy(pages, strategy, hours=hours)
+        out[f"{strategy.value}_fn"] = sweep.fn_rates
+        out[f"{strategy.value}_fp"] = sweep.fp_rates
+    return out
+
+
+def accuracy_over_time(
+    count: int = 10,
+    horizon_hours: float = 48.0,
+    step_hours: float = 8.0,
+) -> Dict[str, List[float]]:
+    """Does Vroom's accuracy hold up across the day/night content cycle?
+
+    Returns the median FN rate per sampled hour — flat is good; spikes
+    would indicate the offline window failing at rotation boundaries.
+    """
+    from statistics import median
+
+    from repro.pages.corpus import accuracy_corpus
+
+    pages = accuracy_corpus(count)
+    hours: List[float] = []
+    medians: List[float] = []
+    offset = 0.0
+    while offset <= horizon_hours:
+        sweep = sweep_accuracy(
+            pages,
+            ResolutionStrategy.VROOM,
+            users=("business",),
+            hours=(offset,),
+        )
+        hours.append(offset)
+        medians.append(median(sweep.fn_rates))
+        offset += step_hours
+    return {"hour": hours, "vroom_fn_median": medians}

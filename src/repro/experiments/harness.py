@@ -1,0 +1,65 @@
+"""Running configurations over corpora and collecting distributions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.baselines.configs import run_config
+from repro.browser.metrics import LoadMetrics
+from repro.calibration import DEFAULT_EVAL_HOUR
+from repro.pages.dynamics import LoadStamp
+from repro.pages.page import PageBlueprint
+from repro.replay.recorder import record_snapshot
+
+
+@dataclass
+class ExperimentRun:
+    """Distributions of one metric across a corpus, per configuration."""
+
+    metric: str
+    values: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, config: str, value: float) -> None:
+        self.values.setdefault(config, []).append(value)
+
+    def series(self, config: str) -> List[float]:
+        return self.values[config]
+
+
+def load_once(
+    page: PageBlueprint,
+    config: str,
+    stamp: Optional[LoadStamp] = None,
+    **kwargs,
+) -> LoadMetrics:
+    """Record one snapshot of ``page`` and load it under ``config``."""
+    stamp = stamp or LoadStamp(when_hours=DEFAULT_EVAL_HOUR)
+    snapshot = page.materialize(stamp)
+    store = record_snapshot(snapshot)
+    return run_config(config, page, snapshot, store, **kwargs)
+
+
+def sweep_configs(
+    pages: Iterable[PageBlueprint],
+    configs: Iterable[str],
+    metric: Callable[[LoadMetrics], float] = lambda metrics: metrics.plt,
+    metric_name: str = "plt",
+    stamp: Optional[LoadStamp] = None,
+    per_page_hook: Optional[
+        Callable[[PageBlueprint, str, LoadMetrics], None]
+    ] = None,
+) -> ExperimentRun:
+    """Load every page under every configuration; collect one metric."""
+    stamp = stamp or LoadStamp(when_hours=DEFAULT_EVAL_HOUR)
+    run = ExperimentRun(metric=metric_name)
+    configs = list(configs)
+    for page in pages:
+        snapshot = page.materialize(stamp)
+        store = record_snapshot(snapshot)
+        for config in configs:
+            metrics = run_config(config, page, snapshot, store)
+            run.add(config, metric(metrics))
+            if per_page_hook is not None:
+                per_page_hook(page, config, metrics)
+    return run

@@ -1,0 +1,96 @@
+"""Packet-loss study (related work: "How Speedy is SPDY?", Erman et al.).
+
+The paper's related-work section cites two findings about HTTP/2's
+single-connection design: page dependencies limit its gains, and "the
+use of a single TCP connection can be detrimental in the presence of
+high packet loss"; it notes Vroom "can be used with HTTP/1.1 in the face
+of high packet loss".  This experiment sweeps loss rates and compares:
+
+* HTTP/1.1 (six connections per domain — loss on one barely dents the
+  aggregate window),
+* HTTP/2 (one connection per domain — every loss halves the only pipe),
+* Vroom over HTTP/2, and Vroom's hint mechanism over HTTP/1.1 (no push,
+  hints only, immediate fetching) — the fallback the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.browser.engine import BrowserConfig, load_page
+from repro.calibration import DEFAULT_EVAL_HOUR
+from repro.core.push_policy import PushPolicy
+from repro.core.scheduler import VroomScheduler
+from repro.core.server import vroom_servers
+from repro.net.http import HttpVersion, NetworkConfig
+from repro.net.link import StreamScheduling
+from repro.pages.corpus import news_sports_corpus
+from repro.pages.dynamics import LoadStamp
+from repro.replay.recorder import record_snapshot
+from repro.replay.replayer import build_servers
+
+LOSS_RATES: Sequence[float] = (0.0, 0.01, 0.02)
+
+
+def loss_sweep(
+    count: int = 8,
+    loss_rates: Sequence[float] = LOSS_RATES,
+) -> Dict[float, Dict[str, List[float]]]:
+    """PLT distributions per loss rate per configuration."""
+    stamp = LoadStamp(when_hours=DEFAULT_EVAL_HOUR)
+    out: Dict[float, Dict[str, List[float]]] = {}
+    for loss in loss_rates:
+        rows: Dict[str, List[float]] = {
+            "http1": [], "http2": [], "vroom_h2": [], "vroom_h1": [],
+        }
+        for page in news_sports_corpus(count):
+            snapshot = page.materialize(stamp)
+            store = record_snapshot(snapshot)
+            browser = BrowserConfig(when_hours=stamp.when_hours)
+            rows["http1"].append(
+                load_page(
+                    snapshot,
+                    build_servers(store),
+                    NetworkConfig(
+                        version=HttpVersion.HTTP1, loss_rate=loss
+                    ),
+                    browser,
+                ).plt
+            )
+            rows["http2"].append(
+                load_page(
+                    snapshot,
+                    build_servers(store),
+                    NetworkConfig(loss_rate=loss),
+                    browser,
+                ).plt
+            )
+            rows["vroom_h2"].append(
+                load_page(
+                    snapshot,
+                    vroom_servers(page, snapshot, store),
+                    NetworkConfig(
+                        h2_scheduling=StreamScheduling.FIFO,
+                        loss_rate=loss,
+                    ),
+                    browser,
+                    policy=VroomScheduler(),
+                ).plt
+            )
+            # Vroom's HTTP/1.1 fallback: hints only (no push exists in
+            # HTTP/1.1), fetched by the staged scheduler.
+            rows["vroom_h1"].append(
+                load_page(
+                    snapshot,
+                    vroom_servers(
+                        page, snapshot, store, push_policy=PushPolicy.NONE
+                    ),
+                    NetworkConfig(
+                        version=HttpVersion.HTTP1, loss_rate=loss
+                    ),
+                    browser,
+                    policy=VroomScheduler(),
+                ).plt
+            )
+        out[loss] = rows
+    return out

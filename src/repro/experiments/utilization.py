@@ -1,0 +1,41 @@
+"""Resource-utilization experiments (the paper's Sec 3 thesis).
+
+The paper's central argument: with today's page loads "neither the
+client's CPU nor its access link is utilized to capacity", because each
+blocks on the other; decoupling fetching from processing lets both run.
+This experiment measures CPU and link utilization (busy fraction of the
+load) per configuration — Vroom should raise CPU utilization relative to
+the HTTP/2 baseline and pull the load's duration down toward the busy
+time itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines.configs import run_config
+from repro.calibration import DEFAULT_EVAL_HOUR
+from repro.pages.corpus import news_sports_corpus
+from repro.pages.dynamics import LoadStamp
+from repro.replay.recorder import record_snapshot
+
+DEFAULT_CONFIGS = ("http1", "http2", "vroom")
+
+
+def utilization_comparison(
+    count: int = 12,
+    configs=DEFAULT_CONFIGS,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Per-config CPU and link utilization distributions."""
+    stamp = LoadStamp(when_hours=DEFAULT_EVAL_HOUR)
+    out: Dict[str, Dict[str, List[float]]] = {
+        config: {"cpu": [], "link": []} for config in configs
+    }
+    for page in news_sports_corpus(count):
+        snapshot = page.materialize(stamp)
+        store = record_snapshot(snapshot)
+        for config in configs:
+            metrics = run_config(config, page, snapshot, store)
+            out[config]["cpu"].append(metrics.cpu_utilization)
+            out[config]["link"].append(metrics.link_utilization)
+    return out

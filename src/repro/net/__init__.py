@@ -1,0 +1,33 @@
+"""Network substrate: discrete-event engine, shared access link, HTTP models.
+
+The model is fluid-flow: response bodies are continuous byte streams whose
+rates are recomputed whenever the set of active streams changes.  The access
+link divides its downlink bandwidth equally across connections carrying
+data; each connection divides its share across its streams according to its
+scheduling mode (fair, FIFO, or priority-weighted).
+"""
+
+from repro.net.simulator import Simulator
+from repro.net.link import AccessLink, StreamHandle, StreamScheduling
+from repro.net.origin import OriginServer, Response
+from repro.net.http import (
+    Fetch,
+    HttpClient,
+    HttpVersion,
+    NetworkConfig,
+    PushedResponse,
+)
+
+__all__ = [
+    "Simulator",
+    "AccessLink",
+    "StreamHandle",
+    "StreamScheduling",
+    "OriginServer",
+    "Response",
+    "Fetch",
+    "HttpClient",
+    "HttpVersion",
+    "NetworkConfig",
+    "PushedResponse",
+]

@@ -1,0 +1,365 @@
+"""Fluid-flow model of the client's cellular access link.
+
+The downlink divides its bandwidth equally across *connections* that have
+response bytes in flight (TCP fairness).  Within a connection, the share is
+divided across streams according to the connection's scheduling mode:
+
+* ``FAIR`` — equal split across all active streams (HTTP/2 default
+  interleaving; also used for independent HTTP/1.1 connections, which each
+  carry a single stream anyway).
+* ``FIFO`` — streams transmit one at a time in arrival order.  This models
+  the paper's Mahimahi modification where a server "returns the content for
+  requested resources in the same order in which it receives requests".
+* ``WEIGHTED`` — bandwidth proportional to per-stream weights (HTTP/2
+  priorities).
+
+Streams expose *offset watches* so the browser's preload scanner can react
+the moment a particular byte of an HTML response arrives.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.simulator import Event, Simulator
+
+_EPS_BYTES = 1e-6
+_EPS_TIME = 1e-12
+
+
+class StreamScheduling(enum.Enum):
+    FAIR = "fair"
+    FIFO = "fifo"
+    WEIGHTED = "weighted"
+
+
+class StreamHandle:
+    """One response body in flight over the shared link."""
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        channel: "Channel",
+        nbytes: float,
+        on_complete: Callable[[], None],
+        weight: float,
+    ):
+        self.id = next(StreamHandle._ids)
+        self.channel = channel
+        self.bytes_total = float(nbytes)
+        self.bytes_done = 0.0
+        self.on_complete = on_complete
+        self.weight = max(1e-6, weight)
+        self.rate = 0.0
+        self.done = False
+        self.started_at = channel.link.sim.now
+        self.completed_at: Optional[float] = None
+        #: Sorted (offset, callback) watch points not yet fired.
+        self._watches: List[Tuple[float, Callable[[], None]]] = []
+
+    def watch_offset(self, offset: float, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once ``offset`` bytes of the body have arrived."""
+        if self.done or self.bytes_done + _EPS_BYTES >= offset:
+            self.channel.link.sim.call_soon(callback)
+            return
+        self._watches.append((offset, callback))
+        self._watches.sort(key=lambda pair: pair[0])
+        self.channel.link.poke()
+
+    def next_threshold(self) -> float:
+        """Bytes remaining until the next interesting point (watch or end)."""
+        target = self.bytes_total
+        if self._watches:
+            target = min(target, self._watches[0][0])
+        return max(0.0, target - self.bytes_done)
+
+    def fire_ready(self, sim: Simulator) -> None:
+        """Fire watches whose offsets have arrived; completion if finished."""
+        while self._watches and self.bytes_done + _EPS_BYTES >= self._watches[0][0]:
+            _, callback = self._watches.pop(0)
+            sim.call_soon(callback)
+        if not self.done and self.bytes_done + _EPS_BYTES >= self.bytes_total:
+            self.bytes_done = self.bytes_total
+            self.done = True
+            self.completed_at = sim.now
+            sim.call_soon(self.on_complete)
+
+
+#: Initial congestion window (10 segments of ~1460 B, RFC 6928).
+INITIAL_CWND_BYTES = 14600.0
+
+#: Upper bound on any connection's congestion window.
+MAX_CWND_BYTES = 4.0e6
+
+
+class Channel:
+    """The link-facing side of one transport connection.
+
+    Carries a TCP-like congestion window: the connection's byte rate is
+    capped at ``cwnd / rtt``, and the window opens by one byte per byte
+    delivered (slow-start doubling per RTT).  A connection that has already
+    moved bytes is therefore *warm* — the mechanism behind HTTP/2's edge
+    over six cold HTTP/1.1 connections and behind RTTs appearing on page
+    load critical paths.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        link: "AccessLink",
+        scheduling: StreamScheduling,
+        rtt: float = 0.0,
+    ):
+        self.id = next(Channel._ids)
+        self.link = link
+        #: Per-link ordinal: stable across runs (unlike the global id),
+        #: so identical simulations see identical loss sequences.
+        self.ordinal = len(link.channels)
+        self.scheduling = scheduling
+        self.rtt = rtt
+        self.cwnd = INITIAL_CWND_BYTES
+        self.streams: List[StreamHandle] = []
+        self._last_busy_at = link.sim.now
+        #: Bytes until this connection's next simulated packet loss.
+        self._bytes_to_next_loss = self._sample_loss_gap(seed_extra=0)
+        self._loss_count = 0
+
+    def _sample_loss_gap(self, seed_extra: int) -> float:
+        """Deterministic exponential gap between losses, in bytes."""
+        if self.link.loss_rate <= 0:
+            return float("inf")
+        import math
+        import random
+
+        rng = random.Random((self.ordinal + 1) * 9973 + seed_extra)
+        mean_gap = 1460.0 / self.link.loss_rate
+        return -mean_gap * math.log(max(1e-12, rng.random()))
+
+    def _register_delivery(self, delivered: float) -> None:
+        """Loss events halve the window (TCP congestion avoidance)."""
+        if self.link.loss_rate <= 0:
+            return
+        self._bytes_to_next_loss -= delivered
+        while self._bytes_to_next_loss <= 0:
+            self._loss_count += 1
+            self.cwnd = max(INITIAL_CWND_BYTES, self.cwnd / 2.0)
+            self._bytes_to_next_loss += self._sample_loss_gap(
+                seed_extra=self._loss_count
+            )
+
+    def rate_cap(self) -> float:
+        """Maximum byte rate this connection's window currently allows."""
+        if self.rtt <= 0:
+            return float("inf")
+        return min(self.cwnd, MAX_CWND_BYTES) / self.rtt
+
+    def grow_window(self, delivered_bytes: float) -> None:
+        if self.rtt <= 0:
+            return
+        self.cwnd = min(MAX_CWND_BYTES, self.cwnd + delivered_bytes)
+
+    def start_stream(
+        self,
+        nbytes: float,
+        on_complete: Callable[[], None],
+        weight: float = 1.0,
+    ) -> StreamHandle:
+        if nbytes < 0:
+            raise ValueError("stream size must be non-negative")
+        # TCP slow-start-after-idle: a connection quiet for more than an
+        # RTO collapses its window back to the initial value.  This is why
+        # six sporadically-used HTTP/1.1 connections lose to one
+        # continuously-busy HTTP/2 connection.
+        if not self.active_streams():
+            idle = self.link.sim.now - self._last_busy_at
+            if idle > max(0.2, 2.0 * self.rtt):
+                self.cwnd = INITIAL_CWND_BYTES
+        stream = StreamHandle(self, nbytes, on_complete, weight)
+        self.streams.append(stream)
+        if nbytes == 0:
+            stream.fire_ready(self.link.sim)
+            self.streams.remove(stream)
+        else:
+            self.link.poke()
+        return stream
+
+    def active_streams(self) -> List[StreamHandle]:
+        return [stream for stream in self.streams if not stream.done]
+
+    def assign_rates(self, byte_rate: float) -> None:
+        """Distribute this connection's byte rate across its streams."""
+        active = self.active_streams()
+        for stream in active:
+            stream.rate = 0.0
+        if not active:
+            return
+        if self.scheduling is StreamScheduling.FIFO:
+            # One response at a time, in request order within a priority
+            # class — but an urgent stream (higher weight) jumps ahead, as
+            # nghttpx honours HTTP/2 priority frames even when the server
+            # serialises its responses.
+            head = min(active, key=lambda stream: (-stream.weight, stream.id))
+            head.rate = byte_rate
+        elif self.scheduling is StreamScheduling.WEIGHTED:
+            total = sum(stream.weight for stream in active)
+            for stream in active:
+                stream.rate = byte_rate * stream.weight / total
+        else:
+            each = byte_rate / len(active)
+            for stream in active:
+                stream.rate = each
+
+
+class AccessLink:
+    """The shared last-mile downlink."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        downlink_bps: float,
+        loss_rate: float = 0.0,
+    ):
+        if downlink_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        self.sim = sim
+        self.downlink_bps = downlink_bps
+        #: Per-packet loss probability (halves a connection's window).
+        self.loss_rate = loss_rate
+        self.channels: List[Channel] = []
+        self._last_update = sim.now
+        self._tick_event: Optional[Event] = None
+        self._in_poke = False
+        #: Total body bytes delivered (for accounting tests).
+        self.bytes_delivered = 0.0
+        #: Seconds during which at least one stream was receiving bytes.
+        self.busy_time = 0.0
+
+    def open_channel(
+        self,
+        scheduling: StreamScheduling = StreamScheduling.FAIR,
+        rtt: float = 0.0,
+    ) -> Channel:
+        channel = Channel(self, scheduling, rtt=rtt)
+        self.channels.append(channel)
+        return channel
+
+    # -- internals -----------------------------------------------------------
+
+    def _advance(self) -> None:
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt > _EPS_TIME:
+            if any(
+                channel.active_streams() for channel in self.channels
+            ):
+                self.busy_time += dt
+            for channel in self.channels:
+                channel_delivered = 0.0
+                for stream in channel.active_streams():
+                    delta = stream.rate * dt
+                    stream.bytes_done = min(
+                        stream.bytes_total, stream.bytes_done + delta
+                    )
+                    channel_delivered += delta
+                    self.bytes_delivered += delta
+                channel.grow_window(channel_delivered)
+                channel._register_delivery(channel_delivered)
+                if channel_delivered > 0:
+                    channel._last_busy_at = now
+        self._last_update = now
+
+    def _busy_channels(self) -> List[Channel]:
+        return [
+            channel for channel in self.channels if channel.active_streams()
+        ]
+
+    def _channel_rates(self, busy: List[Channel]) -> Dict[int, float]:
+        """Water-filling: equal shares, with cwnd-capped surplus recycled."""
+        total_byte_rate = self.downlink_bps / 8.0
+        rates: Dict[int, float] = {}
+        remaining = list(busy)
+        budget = total_byte_rate
+        for _ in range(len(busy) + 1):
+            if not remaining:
+                break
+            share = budget / len(remaining)
+            capped = [
+                channel
+                for channel in remaining
+                if channel.rate_cap() < share - _EPS_BYTES
+            ]
+            if not capped:
+                for channel in remaining:
+                    rates[channel.id] = share
+                break
+            for channel in capped:
+                rates[channel.id] = channel.rate_cap()
+                budget -= channel.rate_cap()
+                remaining.remove(channel)
+        return rates
+
+    def _recompute(self) -> None:
+        busy = self._busy_channels()
+        if not busy:
+            if self._tick_event is not None:
+                self._tick_event.cancel()
+                self._tick_event = None
+            return
+        rates = self._channel_rates(busy)
+        cwnd_limited = False
+        for channel in busy:
+            rate = rates.get(channel.id, 0.0)
+            channel.assign_rates(rate)
+            if channel.rate_cap() <= rate + _EPS_BYTES:
+                cwnd_limited = True
+        horizon = None
+        for channel in busy:
+            for stream in channel.active_streams():
+                if stream.rate <= 0:
+                    continue
+                eta = stream.next_threshold() / stream.rate
+                if horizon is None or eta < horizon:
+                    horizon = eta
+        if cwnd_limited:
+            # Windows open continuously; refresh piecewise-constant rates
+            # a few times per RTT while any connection is in slow start.
+            min_rtt = min(
+                (channel.rtt for channel in busy if channel.rtt > 0),
+                default=0.0,
+            )
+            if min_rtt > 0:
+                refresh = min_rtt / 2.0
+                horizon = refresh if horizon is None else min(horizon, refresh)
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+        if horizon is not None:
+            self._tick_event = self.sim.schedule(max(0.0, horizon), self.poke)
+
+    def poke(self) -> None:
+        """Advance progress, fire due watches/completions, recompute rates."""
+        if self._in_poke:
+            return
+        self._in_poke = True
+        try:
+            self._advance()
+            for channel in self.channels:
+                for stream in list(channel.streams):
+                    stream.fire_ready(self.sim)
+                channel.streams = [
+                    stream for stream in channel.streams if not stream.done
+                ]
+            self._recompute()
+        finally:
+            self._in_poke = False
+
+    def active_stream_count(self) -> int:
+        return sum(
+            len(channel.active_streams()) for channel in self.channels
+        )

@@ -1,0 +1,93 @@
+"""Origin web servers.
+
+An :class:`OriginServer` owns one domain.  What it returns for a URL —
+body size, think time, dependency hints, push list — is decided by a
+pluggable *responder*, so the same network machinery serves the plain
+replay baseline, every push strawman, and the full Vroom policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.calibration import (
+    SERVER_HTML_THINK_TIME,
+    SERVER_THINK_TIME,
+)
+
+
+@dataclass
+class Response:
+    """Everything a server hands back for one request."""
+
+    url: str
+    size: int
+    #: Server-side processing latency before the first response byte.
+    think_time: float = SERVER_THINK_TIME
+    #: Dependency hints (opaque to the network layer; the browser and the
+    #: Vroom scheduler interpret them).  Carried in response headers.
+    hints: List[Any] = field(default_factory=list)
+    #: URLs this server will push on the same connection, in order.
+    pushes: List[str] = field(default_factory=list)
+    #: Arbitrary payload for upper layers (usually the Resource object).
+    meta: Any = None
+    #: Whether the client may cache this response.
+    cacheable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("response size must be non-negative")
+
+
+#: A responder maps (url, is_push) to a Response, or None for a 404.
+Responder = Callable[[str, bool], Optional[Response]]
+
+
+class OriginServer:
+    """One domain's server: content lookup plus a response policy."""
+
+    def __init__(
+        self,
+        domain: str,
+        responder: Responder,
+        server_rtt: float = 0.040,
+    ):
+        self.domain = domain
+        self.responder = responder
+        self.server_rtt = server_rtt
+        #: Count of requests served (push responses excluded).
+        self.requests_served = 0
+        #: Count of push streams initiated.
+        self.pushes_sent = 0
+
+    def respond(self, url: str, *, is_push: bool = False) -> Optional[Response]:
+        response = self.responder(url, is_push)
+        if response is None:
+            return None
+        if is_push:
+            self.pushes_sent += 1
+        else:
+            self.requests_served += 1
+        return response
+
+
+def static_responder(
+    contents: Dict[str, int],
+    html_urls: Optional[set] = None,
+) -> Responder:
+    """Plain responder: look up a size table, no hints, no pushes.
+
+    HTML responses get the larger dynamic-generation think time.
+    """
+    html_urls = html_urls or set()
+
+    def respond(url: str, is_push: bool) -> Optional[Response]:
+        if url not in contents:
+            return None
+        think = (
+            SERVER_HTML_THINK_TIME if url in html_urls else SERVER_THINK_TIME
+        )
+        return Response(url=url, size=contents[url], think_time=think)
+
+    return respond

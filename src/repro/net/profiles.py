@@ -1,0 +1,64 @@
+"""Network profiles beyond the paper's LTE baseline.
+
+Sec 4.3 notes that Vroom's scheduler is tailored to a state-of-the-art
+phone on LTE, where the CPU is the bottleneck, and that "alternate
+scheduling strategies will likely be necessary in settings where either
+network bandwidth ... or latency ... is the bottleneck".  These profiles
+let the benchmarks probe exactly those regimes: a loaded cell (bandwidth
+bound), 3G and 2G/EDGE (latency bound), and fast Wi-Fi.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.net.http import HttpVersion, NetworkConfig
+from repro.net.link import StreamScheduling
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Named last-mile characteristics."""
+
+    name: str
+    downlink_bps: float
+    uplink_bps: float
+    rtt: float
+
+    def config(
+        self,
+        version: HttpVersion = HttpVersion.HTTP2,
+        h2_scheduling: StreamScheduling = StreamScheduling.FAIR,
+    ) -> NetworkConfig:
+        return NetworkConfig(
+            version=version,
+            downlink_bps=self.downlink_bps,
+            uplink_bps=self.uplink_bps,
+            base_rtt=self.rtt,
+            h2_scheduling=h2_scheduling,
+        )
+
+
+PROFILES: Dict[str, NetworkProfile] = {
+    # The paper's setting: Verizon LTE, excellent signal.
+    "lte": NetworkProfile("lte", 10.0e6, 4.0e6, 0.070),
+    # Many users sharing the cell: bandwidth becomes the bottleneck.
+    "loaded-lte": NetworkProfile("loaded-lte", 2.0e6, 0.8e6, 0.090),
+    # HSPA-era 3G: latency dominates.
+    "3g": NetworkProfile("3g", 3.0e6, 1.0e6, 0.250),
+    # EDGE: both starved.
+    "2g": NetworkProfile("2g", 0.24e6, 0.12e6, 0.600),
+    # Home Wi-Fi / future 5G-ish: the CPU is overwhelmingly the limit.
+    "wifi": NetworkProfile("wifi", 50.0e6, 20.0e6, 0.020),
+}
+
+
+def profile(name: str) -> NetworkProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown network profile {name!r}; "
+            f"choose from {sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,106 @@
+"""Minimal deterministic discrete-event simulation engine.
+
+Events are ``(time, sequence, callback)`` triples in a binary heap.  The
+sequence number breaks time ties in scheduling order, which keeps every run
+fully deterministic.  Time is float seconds from an arbitrary origin.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class Event:
+    """Handle to a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """Event queue with a monotone virtual clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        #: Total events executed (exposed for runaway detection / stats).
+        self.executed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        event = Event(self._now + delay, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at absolute simulated time ``time``."""
+        return self.schedule(max(0.0, time - self._now), callback)
+
+    def call_soon(self, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at the current time, after pending same-time events."""
+        return self.schedule(0.0, callback)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 5_000_000,
+    ) -> float:
+        """Drain the queue; returns the final clock value.
+
+        ``until`` caps virtual time; ``max_events`` guards against runaway
+        feedback loops in buggy models (raises ``RuntimeError``).
+        """
+        if self._running:
+            raise RuntimeError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                if until is not None and event.time > until:
+                    heapq.heappush(self._queue, event)
+                    self._now = until
+                    break
+                if event.time < self._now - 1e-12:
+                    raise RuntimeError("event scheduled in the past")
+                self._now = max(self._now, event.time)
+                self.executed += 1
+                if self.executed > max_events:
+                    raise RuntimeError(
+                        f"exceeded {max_events} events; likely a model loop"
+                    )
+                event.callback()
+        finally:
+            self._running = False
+        return self._now
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, if any."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def pending(self) -> int:
+        return sum(1 for event in self._queue if not event.cancelled)

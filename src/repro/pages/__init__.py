@@ -1,0 +1,47 @@
+"""Synthetic web-page substrate.
+
+A :class:`~repro.pages.page.PageBlueprint` describes a page's resource tree
+with all of its sources of flux (content rotation, per-load nonces, device
+variants, personalization).  Materialising a blueprint at a wall-clock time
+for a (device, user) pair yields a :class:`~repro.pages.page.PageSnapshot`:
+the concrete set of resources, URLs, bodies and dependency edges that one
+particular load of the page would fetch.
+"""
+
+from repro.pages.resources import (
+    Discovery,
+    Priority,
+    Resource,
+    ResourceSpec,
+    ResourceType,
+    PROCESSABLE_TYPES,
+    priority_of,
+)
+from repro.pages.dynamics import LoadStamp
+from repro.pages.page import PageBlueprint, PageSnapshot
+from repro.pages.generator import PageGenerator, generate_page
+from repro.pages.corpus import (
+    accuracy_corpus,
+    alexa_top100_corpus,
+    alexa_top400_sample_corpus,
+    news_sports_corpus,
+)
+
+__all__ = [
+    "Discovery",
+    "Priority",
+    "Resource",
+    "ResourceSpec",
+    "ResourceType",
+    "PROCESSABLE_TYPES",
+    "priority_of",
+    "LoadStamp",
+    "PageBlueprint",
+    "PageSnapshot",
+    "PageGenerator",
+    "generate_page",
+    "accuracy_corpus",
+    "alexa_top100_corpus",
+    "alexa_top400_sample_corpus",
+    "news_sports_corpus",
+]

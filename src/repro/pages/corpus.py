@@ -1,0 +1,78 @@
+"""Named corpora mirroring the paper's page sets.
+
+* ``news_sports_corpus`` — top-50 News + top-50 Sports landing pages
+  (the heavy pages that dominate the evaluation).
+* ``alexa_top100_corpus`` — the Alexa US top-100 overall (Fig 1, Fig 7,
+  Fig 9, Sec 4.1 flux measurements).
+* ``alexa_top400_sample_corpus`` — 100 random pages from the top 400
+  (Sec 6.1's lighter corpus).
+* ``accuracy_corpus`` — 265 pages spanning landing pages and articles from
+  News/Sports providers (Sec 6.2 accuracy evaluation).
+
+Corpora are deterministic functions of their seed, and a fraction of every
+corpus is biased toward heavy dynamism so the distribution tails behave the
+way the paper's do (Vroom gains vanish in the tail, Fig 13/14).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.calibration import (
+    ALEXA_TOP100_PROFILE,
+    ALEXA_TOP400_PROFILE,
+    NEWS_SPORTS_PROFILE,
+    SHOPPING_PROFILE,
+    CorpusProfile,
+)
+from repro.pages.generator import PageGenerator
+from repro.pages.page import PageBlueprint
+
+#: Fraction of pages given heavy dynamic content (tail pages).
+_HEAVY_DYNAMIC_FRAC = 0.12
+_HEAVY_DYNAMIC_BIAS = 2.6
+
+
+def _build(
+    profile: CorpusProfile, prefix: str, count: int, seed: int
+) -> List[PageBlueprint]:
+    generator = PageGenerator(profile, seed=seed)
+    heavy_every = max(1, int(round(1.0 / _HEAVY_DYNAMIC_FRAC)))
+    pages = []
+    for index in range(count):
+        bias = _HEAVY_DYNAMIC_BIAS if index % heavy_every == heavy_every - 1 else 1.0
+        pages.append(generator.generate(f"{prefix}{index}", dynamic_bias=bias))
+    return pages
+
+
+def news_sports_corpus(count: int = 100, seed: int = 1701) -> List[PageBlueprint]:
+    """Top-50 News + top-50 Sports landing pages (default 100 pages)."""
+    half = count // 2
+    news = _build(NEWS_SPORTS_PROFILE, "news", half, seed)
+    sports = _build(NEWS_SPORTS_PROFILE, "sports", count - half, seed + 1)
+    return news + sports
+
+
+def alexa_top100_corpus(count: int = 100, seed: int = 2401) -> List[PageBlueprint]:
+    """The Alexa US top-100 landing pages."""
+    return _build(ALEXA_TOP100_PROFILE, "alexa", count, seed)
+
+
+def alexa_top400_sample_corpus(
+    count: int = 100, seed: int = 3301
+) -> List[PageBlueprint]:
+    """100 randomly chosen pages from the Alexa top-400."""
+    return _build(ALEXA_TOP400_PROFILE, "a400_", count, seed)
+
+
+def shopping_corpus(count: int = 50, seed: int = 5601) -> List[PageBlueprint]:
+    """Shopping-site landing pages (high content churn; Sec 4.1's example
+    of flux that offline-only resolution cannot track)."""
+    return _build(SHOPPING_PROFILE, "shop", count, seed)
+
+
+def accuracy_corpus(count: int = 265, seed: int = 4501) -> List[PageBlueprint]:
+    """265 News/Sports pages of varied types (Sec 6.2)."""
+    landing = _build(NEWS_SPORTS_PROFILE, "land", count // 2, seed)
+    articles = _build(NEWS_SPORTS_PROFILE, "artcl", count - count // 2, seed + 7)
+    return landing + articles

@@ -1,0 +1,361 @@
+"""Statistical synthesis of page blueprints from a corpus profile.
+
+The generator builds pages whose aggregate statistics match the profile in
+:mod:`repro.calibration`: resource counts, byte mix (with the processable
+share near 25%), domain spread, dependency-chain depth, iframe counts and
+the fractions of script-computed / nonce / rotating / device / personalised
+resources.  All randomness flows from one seeded ``random.Random`` so a
+corpus is a pure function of its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.calibration import CorpusProfile
+from repro.pages.page import PageBlueprint
+from repro.pages.resources import Discovery, ResourceSpec, ResourceType
+
+#: Relative frequency of non-processable resource types.
+_MEDIA_MIX = [
+    (ResourceType.IMAGE, 0.72),
+    (ResourceType.FONT, 0.10),
+    (ResourceType.JSON, 0.10),
+    (ResourceType.VIDEO, 0.03),
+    (ResourceType.OTHER, 0.05),
+]
+
+
+class PageGenerator:
+    """Generates :class:`PageBlueprint` objects matching a profile."""
+
+    def __init__(self, profile: CorpusProfile, seed: int = 0):
+        self.profile = profile
+        self.rng = random.Random(seed)
+
+    # -- low-level samplers -------------------------------------------------
+
+    def _gauss_int(self, mean_sd: tuple, lo: int, hi: int) -> int:
+        mean, sd = mean_sd
+        return int(min(hi, max(lo, self.rng.gauss(mean, sd))))
+
+    def _gauss(self, mean_sd: tuple, lo: float) -> float:
+        mean, sd = mean_sd
+        return max(lo, self.rng.gauss(mean, sd))
+
+    def _media_type(self) -> ResourceType:
+        roll = self.rng.random()
+        acc = 0.0
+        for rtype, weight in _MEDIA_MIX:
+            acc += weight
+            if roll <= acc:
+                return rtype
+        return ResourceType.IMAGE
+
+    def _sizes(self, count: int, total: float) -> List[int]:
+        """Split ``total`` bytes into ``count`` lognormal-ish shares."""
+        weights = [self.rng.lognormvariate(0.0, 1.0) for _ in range(count)]
+        scale = total / sum(weights)
+        return [max(200, int(weight * scale)) for weight in weights]
+
+    # -- page assembly -------------------------------------------------------
+
+    def generate(self, page_name: str, dynamic_bias: float = 1.0) -> PageBlueprint:
+        """Build one page.
+
+        ``dynamic_bias`` scales the unpredictable/rotating fractions, used
+        to create the heavy-flux tail pages where Vroom's hints help least.
+        """
+        profile = self.profile
+        n_total = self._gauss_int(profile.resource_count, 12, 400)
+        total_bytes = self._gauss(profile.total_bytes, 100_000.0)
+        n_domains = self._gauss_int(profile.domain_count, 2, 60)
+        n_iframes = self._gauss_int(profile.iframe_count, 0, 8)
+        n_iframes = min(n_iframes, max(0, n_total // 10))
+
+        first_party = f"{page_name}.com"
+        third_parties = [
+            f"cdn{index}.{page_name}-3p{index}.com" for index in range(n_domains - 1)
+        ]
+        domains = [first_party] + third_parties
+
+        # Byte budget: processable vs media.
+        processable_budget = total_bytes * profile.processable_byte_share
+        media_budget = total_bytes - processable_budget
+
+        # Resource count budget.
+        n_css = max(1, int(n_total * 0.08))
+        n_js = max(2, int(n_total * 0.26))
+        n_docs = 1 + n_iframes
+        n_media = max(1, n_total - n_css - n_js - n_docs)
+
+        page = PageBlueprint(name=page_name, root=f"{page_name}_root")
+
+        doc_sizes = [
+            max(25_000, min(65_000, size))
+            for size in self._sizes(n_docs, processable_budget * 0.12)
+        ]
+        css_sizes = self._sizes(n_css, processable_budget * 0.18)
+        js_sizes = self._sizes(n_js, processable_budget * 0.70)
+        media_sizes = self._sizes(n_media, media_budget)
+
+        root = page.add(
+            ResourceSpec(
+                name=f"{page_name}_root",
+                rtype=ResourceType.HTML,
+                domain=first_party,
+                size=doc_sizes[0],
+                parent=None,
+                lifetime_hours=self._rotation_lifetime(0.9),
+                cacheable=False,  # dynamically generated, always refetched
+            )
+        )
+
+        # Processable skeleton: CSS and JS attached to the root document,
+        # with some JS chained under other JS to create dependency depth.
+        max_depth = self._gauss_int(self.profile.chain_depth, 2, 16)
+        css_specs = [
+            self._add_child(
+                page,
+                name=f"{page_name}_css{index}",
+                rtype=ResourceType.CSS,
+                parent=root,
+                size=size,
+                domain=self._pick_domain(domains, first_party_bias=0.6),
+                dynamic_bias=dynamic_bias * 0.3,
+                position=self.rng.uniform(0.02, 0.25),
+            )
+            for index, size in enumerate(css_sizes)
+        ]
+
+        js_specs: List[ResourceSpec] = []
+        for index, size in enumerate(js_sizes):
+            parent: ResourceSpec = root
+            discovery = Discovery.STATIC_MARKUP
+            chainable = [
+                spec
+                for spec in js_specs
+                if self._depth(page, spec) < max_depth - 1
+            ]
+            if chainable and self.rng.random() < 0.82:
+                # Prefer extending the deepest chain: ad/analytics loaders
+                # form long linear handoffs (loader -> auction -> creative
+                # -> tracker ...), not balanced trees.
+                if self.rng.random() < 0.7:
+                    parent = max(
+                        chainable, key=lambda spec: self._depth(page, spec)
+                    )
+                else:
+                    parent = self.rng.choice(chainable)
+                discovery = Discovery.SCRIPT_COMPUTED
+            js_specs.append(
+                self._add_child(
+                    page,
+                    name=f"{page_name}_js{index}",
+                    rtype=ResourceType.JS,
+                    parent=parent,
+                    size=size,
+                    domain=self._pick_domain(domains, first_party_bias=0.35),
+                    dynamic_bias=dynamic_bias,
+                    discovery=discovery,
+                    position=self.rng.uniform(0.05, 0.9),
+                    exec_async=(
+                        discovery is Discovery.STATIC_MARKUP
+                        and self.rng.random() < self.profile.async_script_frac
+                    ),
+                )
+            )
+
+        # Embedded third-party documents (ads / widgets), personalised.
+        iframe_docs: List[ResourceSpec] = []
+        for index in range(n_iframes):
+            iframe_docs.append(
+                self._add_child(
+                    page,
+                    name=f"{page_name}_frame{index}",
+                    rtype=ResourceType.HTML,
+                    parent=root,
+                    size=doc_sizes[1 + index],
+                    domain=self.rng.choice(third_parties or [first_party]),
+                    dynamic_bias=dynamic_bias,
+                    position=self.rng.uniform(0.5, 0.98),
+                    personalized=True,
+                    cacheable=False,
+                )
+            )
+
+        # Media resources hang off documents, scripts and stylesheets.
+        for index, size in enumerate(media_sizes):
+            rtype = self._media_type()
+            host_roll = self.rng.random()
+            if host_roll < self.profile.script_computed_frac and js_specs:
+                parent = self.rng.choice(js_specs)
+                discovery = Discovery.SCRIPT_COMPUTED
+            elif host_roll < self.profile.script_computed_frac + 0.10 and css_specs:
+                parent = self.rng.choice(css_specs)
+                discovery = Discovery.CSS_REF
+            elif iframe_docs and self.rng.random() < 0.30:
+                parent = self.rng.choice(iframe_docs)
+                discovery = Discovery.STATIC_MARKUP
+            else:
+                parent = root
+                discovery = Discovery.STATIC_MARKUP
+            above_fold = self.rng.random() < self.profile.above_fold_frac
+            self._add_child(
+                page,
+                name=f"{page_name}_media{index}",
+                rtype=rtype,
+                parent=parent,
+                size=size,
+                domain=self._pick_domain(domains, first_party_bias=0.35),
+                dynamic_bias=dynamic_bias,
+                discovery=discovery,
+                position=self.rng.random(),
+                above_fold=above_fold,
+                pixel_weight=(
+                    self.rng.uniform(0.5, 3.0) if above_fold else 0.0
+                ),
+            )
+
+        page.validate()
+        return page
+
+    # -- helpers -------------------------------------------------------------
+
+    def _depth(self, page: PageBlueprint, spec: ResourceSpec) -> int:
+        depth = 0
+        node: Optional[str] = spec.name
+        while node is not None:
+            node = page.specs[node].parent
+            depth += 1
+        return depth
+
+    def _pick_domain(self, domains: List[str], first_party_bias: float) -> str:
+        """First party with the given bias; otherwise zipf over third parties.
+
+        Real pages concentrate most third-party bytes on a few CDNs with a
+        long tail of single-resource domains — which is what makes the
+        six-connections-per-domain HTTP/1.1 limit matter.
+        """
+        if self.rng.random() < first_party_bias or len(domains) == 1:
+            return domains[0]
+        third_parties = domains[1:]
+        weights = [1.0 / (rank + 1) ** 1.4 for rank in range(len(third_parties))]
+        return self.rng.choices(third_parties, weights=weights, k=1)[0]
+
+    def _rotation_lifetime(
+        self, rotate_prob: float, stretch: float = 1.0
+    ) -> Optional[float]:
+        if self.rng.random() >= rotate_prob:
+            return None
+        return stretch * self._gauss(
+            self.profile.rotation_lifetime_hours, 0.75
+        )
+
+    def _add_child(
+        self,
+        page: PageBlueprint,
+        *,
+        name: str,
+        rtype: ResourceType,
+        parent: ResourceSpec,
+        size: int,
+        domain: str,
+        dynamic_bias: float,
+        discovery: Discovery = Discovery.STATIC_MARKUP,
+        position: float = 0.5,
+        exec_async: bool = False,
+        above_fold: bool = False,
+        pixel_weight: float = 0.0,
+        personalized: Optional[bool] = None,
+        cacheable: Optional[bool] = None,
+    ) -> ResourceSpec:
+        profile = self.profile
+        unpredictable_frac = profile.unpredictable_frac * dynamic_bias
+        if discovery is Discovery.STATIC_MARKUP:
+            # Nonce URLs come overwhelmingly from ad/analytics scripts;
+            # markup-declared references are mostly stable content.
+            unpredictable_frac *= 0.25
+        unpredictable = self.rng.random() < unpredictable_frac
+        if parent.user_state_script and self.rng.random() < 0.75:
+            # Children of user-state-dependent scripts embed local time or
+            # similar state in their URLs: fresh on every load.
+            unpredictable = True
+        if unpredictable and rtype not in (ResourceType.JS, ResourceType.HTML):
+            # Nonce-bearing URLs are ad beacons and tracking pixels: tiny.
+            size = min(size, self.rng.randint(400, 4000))
+        rotating_frac = profile.rotating_frac * dynamic_bias
+        rotation_stretch = 1.0
+        if discovery is not Discovery.STATIC_MARKUP:
+            # Content churn (fresh stories, rotated creatives) lives in
+            # the markup; script- and CSS-referenced assets are mostly
+            # library-stable.  This is what keeps Vroom's false-negative
+            # rate low: online HTML analysis sees almost all of the flux.
+            rotating_frac *= 0.25
+            rotation_stretch = 4.0
+        rotating = (
+            not unpredictable and self.rng.random() < rotating_frac
+        )
+        if personalized is None:
+            personalized = self.rng.random() < profile.personalized_frac
+        spec = ResourceSpec(
+            name=name,
+            rtype=rtype,
+            domain=domain,
+            size=size,
+            parent=parent.name,
+            discovery=discovery,
+            position=position,
+            exec_async=exec_async,
+            above_fold=above_fold,
+            pixel_weight=pixel_weight,
+            cacheable=cacheable
+            if cacheable is not None
+            else self.rng.random() < (
+                # Ad/analytics script endpoints are typically no-store;
+                # other third-party JS caches poorly too.
+                profile.cacheable_frac * 0.55
+                if rtype is ResourceType.JS
+                and domain != f"{page.name}.com"
+                else profile.cacheable_frac
+            ),
+            max_age_hours=self.rng.choice([1.0, 6.0, 24.0, 24.0 * 7]),
+            lifetime_hours=(
+                self._rotation_lifetime(1.0, rotation_stretch)
+                if rotating
+                else None
+            ),
+            unpredictable=unpredictable,
+            device_dependent=(
+                rtype is ResourceType.IMAGE
+                and self.rng.random() < profile.device_dependent_frac * 3
+            ),
+            personalized=personalized,
+            user_state_script=(
+                rtype is ResourceType.JS and self.rng.random() < 0.08
+            ),
+            server_think_time=self._think_time(rtype, domain, page.name),
+        )
+        return page.add(spec)
+
+    def _think_time(
+        self, rtype: ResourceType, domain: str, page_name: str
+    ) -> Optional[float]:
+        """Third-party script/HTML endpoints (ads, analytics) are slow."""
+        first_party = domain == f"{page_name}.com"
+        if first_party or rtype not in (ResourceType.JS, ResourceType.HTML):
+            return None
+        return self.rng.uniform(0.02, 0.14)
+
+
+def generate_page(
+    profile: CorpusProfile,
+    page_name: str,
+    seed: int = 0,
+    dynamic_bias: float = 1.0,
+) -> PageBlueprint:
+    """Convenience wrapper: one page from a fresh generator."""
+    return PageGenerator(profile, seed=seed).generate(
+        page_name, dynamic_bias=dynamic_bias
+    )

@@ -1,0 +1,216 @@
+"""Page blueprints and materialised snapshots.
+
+A :class:`PageBlueprint` is the timeless description of a page: the resource
+specs and their parent/child structure.  :meth:`PageBlueprint.materialize`
+resolves every spec under a :class:`~repro.pages.dynamics.LoadStamp` into a
+:class:`PageSnapshot` — the exact set of resources one load fetches, with
+URLs, sizes, bodies and a root-document processing order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.pages import markup
+from repro.pages.dynamics import LoadStamp, resolve_size, resolve_url
+from repro.pages.resources import (
+    Discovery,
+    Resource,
+    ResourceSpec,
+    ResourceType,
+)
+
+
+@dataclass
+class PageBlueprint:
+    """The stable structure of a page across loads."""
+
+    name: str
+    root: str
+    specs: Dict[str, ResourceSpec] = field(default_factory=dict)
+
+    def add(self, spec: ResourceSpec) -> ResourceSpec:
+        if spec.name in self.specs:
+            raise ValueError(f"duplicate resource name {spec.name!r}")
+        if spec.parent is not None and spec.parent not in self.specs:
+            raise ValueError(
+                f"{spec.name!r} declares unknown parent {spec.parent!r}"
+            )
+        self.specs[spec.name] = spec
+        return spec
+
+    @property
+    def root_spec(self) -> ResourceSpec:
+        return self.specs[self.root]
+
+    def children_of(self, name: str) -> List[ResourceSpec]:
+        kids = [spec for spec in self.specs.values() if spec.parent == name]
+        kids.sort(key=lambda spec: (spec.position, spec.name))
+        return kids
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on failure."""
+        if self.root not in self.specs:
+            raise ValueError(f"root {self.root!r} not among specs")
+        if self.specs[self.root].parent is not None:
+            raise ValueError("root resource must not have a parent")
+        for spec in self.specs.values():
+            if spec.name == self.root:
+                continue
+            if spec.parent is None:
+                raise ValueError(f"non-root {spec.name!r} has no parent")
+            parent = self.specs[spec.parent]
+            if spec.discovery is Discovery.CSS_REF:
+                if parent.rtype is not ResourceType.CSS:
+                    raise ValueError(
+                        f"{spec.name!r}: CSS_REF child of non-CSS parent"
+                    )
+            elif spec.discovery is Discovery.SCRIPT_COMPUTED:
+                if parent.rtype is not ResourceType.JS:
+                    raise ValueError(
+                        f"{spec.name!r}: SCRIPT_COMPUTED child of non-JS parent"
+                    )
+            else:
+                if parent.rtype is not ResourceType.HTML:
+                    raise ValueError(
+                        f"{spec.name!r}: STATIC_MARKUP child of non-HTML parent"
+                    )
+        # Reject cycles: walk up from every node.
+        for spec in self.specs.values():
+            seen = set()
+            node: Optional[str] = spec.name
+            while node is not None:
+                if node in seen:
+                    raise ValueError(f"parent cycle involving {node!r}")
+                seen.add(node)
+                node = self.specs[node].parent
+
+    def materialize(self, stamp: LoadStamp) -> "PageSnapshot":
+        """Resolve every spec under ``stamp`` into a concrete snapshot."""
+        resources: Dict[str, Resource] = {}
+        for spec in self.specs.values():
+            resources[spec.name] = Resource(
+                spec=spec,
+                url=resolve_url(spec, stamp),
+                size=resolve_size(spec, stamp),
+            )
+        for name, resource in resources.items():
+            for child_spec in self.children_of(name):
+                child = resources[child_spec.name]
+                child.parent = resource
+                resource.children.append(child)
+
+        root = resources[self.root]
+        self._mark_frames(root)
+        self._assign_process_order(root)
+        for resource in resources.values():
+            if resource.processable:
+                resource.body = markup.render_body(resource)
+        return PageSnapshot(
+            page=self.name, stamp=stamp, root=root, resources=resources
+        )
+
+    @staticmethod
+    def _mark_frames(root: Resource) -> None:
+        for resource in root.descendants():
+            if resource.is_document:
+                resource.is_iframe_doc = True
+            parent = resource.parent
+            while parent is not None:
+                if parent.is_document and parent.parent is not None:
+                    resource.in_iframe = True
+                    break
+                parent = parent.parent
+
+    @staticmethod
+    def _assign_process_order(root: Resource) -> None:
+        """Pre-order walk assigning the client's processing order index."""
+        order = 0
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            node.process_order = order
+            order += 1
+            stack.extend(reversed(node.children))
+
+
+@dataclass
+class PageSnapshot:
+    """One concrete load of a page: what the client would actually fetch."""
+
+    page: str
+    stamp: LoadStamp
+    root: Resource
+    resources: Dict[str, Resource]
+
+    def __iter__(self):
+        return iter(self.all_resources())
+
+    def all_resources(self) -> List[Resource]:
+        return self.root.subtree()
+
+    def by_url(self) -> Dict[str, Resource]:
+        return {resource.url: resource for resource in self.all_resources()}
+
+    def urls(self) -> List[str]:
+        return [resource.url for resource in self.all_resources()]
+
+    def total_bytes(self) -> int:
+        return sum(resource.size for resource in self.all_resources())
+
+    def processable_bytes(self) -> int:
+        return sum(
+            resource.size
+            for resource in self.all_resources()
+            if resource.processable
+        )
+
+    def domains(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for resource in self.all_resources():
+            seen.setdefault(resource.domain, None)
+        return list(seen)
+
+    def documents(self) -> List[Resource]:
+        return [
+            resource
+            for resource in self.all_resources()
+            if resource.is_document
+        ]
+
+    def find(self, name: str) -> Resource:
+        return self.resources[name]
+
+    def hintable_descendants(self, doc: Resource) -> List[Resource]:
+        """Descendants of ``doc`` reachable without crossing embedded HTML.
+
+        This is the envelope a Vroom server serving ``doc`` may describe
+        (Sec 4.2, Fig 10): embedded documents themselves are included, but
+        nothing *derived from* them is, because their content may be
+        personalised by another domain.
+        """
+        out: List[Resource] = []
+        stack = list(reversed(doc.children))
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            if node.is_document:
+                continue
+            stack.extend(reversed(node.children))
+        return out
+
+
+def shared_urls(a: PageSnapshot, b: PageSnapshot) -> List[str]:
+    """URLs fetched by both snapshots (order follows ``a``)."""
+    b_urls = set(b.urls())
+    return [url for url in a.urls() if url in b_urls]
+
+
+def merge_url_sets(snapshots: Iterable[PageSnapshot]) -> Dict[str, int]:
+    """URL -> number of snapshots containing it."""
+    counts: Dict[str, int] = {}
+    for snapshot in snapshots:
+        for url in set(snapshot.urls()):
+            counts[url] = counts.get(url, 0) + 1
+    return counts

@@ -1,0 +1,126 @@
+"""Blueprint serialization: page descriptions as portable JSON.
+
+A :class:`~repro.pages.page.PageBlueprint` is pure data; serialising it
+lets users pin corpora to disk, share page descriptions across machines,
+or hand-author pages without touching the generator.  The format is a
+versioned JSON document; loading validates structure via
+``PageBlueprint.validate``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.pages.page import PageBlueprint
+from repro.pages.resources import Discovery, ResourceSpec, ResourceType
+
+FORMAT_VERSION = 1
+
+_SPEC_FIELDS = (
+    "name",
+    "domain",
+    "size",
+    "parent",
+    "position",
+    "exec_async",
+    "above_fold",
+    "pixel_weight",
+    "cacheable",
+    "max_age_hours",
+    "lifetime_hours",
+    "unpredictable",
+    "device_dependent",
+    "personalized",
+    "user_state_script",
+    "server_think_time",
+)
+
+
+def spec_to_dict(spec: ResourceSpec) -> Dict[str, Any]:
+    data = {field: getattr(spec, field) for field in _SPEC_FIELDS}
+    data["rtype"] = spec.rtype.value
+    data["discovery"] = spec.discovery.value
+    return data
+
+
+def spec_from_dict(data: Dict[str, Any]) -> ResourceSpec:
+    payload = dict(data)
+    try:
+        rtype = ResourceType(payload.pop("rtype"))
+        discovery = Discovery(payload.pop("discovery"))
+    except (KeyError, ValueError) as exc:
+        raise ValueError(f"malformed resource spec: {exc}") from exc
+    unknown = set(payload) - set(_SPEC_FIELDS)
+    if unknown:
+        raise ValueError(f"unknown spec fields: {sorted(unknown)}")
+    return ResourceSpec(rtype=rtype, discovery=discovery, **payload)
+
+
+def blueprint_to_dict(page: PageBlueprint) -> Dict[str, Any]:
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": page.name,
+        "root": page.root,
+        "specs": [spec_to_dict(spec) for spec in page.specs.values()],
+    }
+
+
+def blueprint_from_dict(data: Dict[str, Any]) -> PageBlueprint:
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported blueprint format version {version!r}"
+        )
+    page = PageBlueprint(name=data["name"], root=data["root"])
+    # Parents must exist before children; insert roots first, then
+    # repeatedly add specs whose parent is already present.
+    pending: List[Dict[str, Any]] = list(data["specs"])
+    while pending:
+        progressed = False
+        remaining = []
+        for spec_data in pending:
+            parent = spec_data.get("parent")
+            if parent is None or parent in page.specs:
+                page.add(spec_from_dict(spec_data))
+                progressed = True
+            else:
+                remaining.append(spec_data)
+        if not progressed:
+            orphans = sorted(item["name"] for item in remaining)
+            raise ValueError(f"specs with unresolvable parents: {orphans}")
+        pending = remaining
+    page.validate()
+    return page
+
+
+def dump_blueprint(page: PageBlueprint, path: str) -> None:
+    """Write a blueprint to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(blueprint_to_dict(page), handle, indent=1)
+
+
+def load_blueprint(path: str) -> PageBlueprint:
+    """Read a blueprint from a JSON file (validates on load)."""
+    with open(path) as handle:
+        return blueprint_from_dict(json.load(handle))
+
+
+def dump_corpus(pages: List[PageBlueprint], path: str) -> None:
+    """Write a whole corpus to one JSON file."""
+    with open(path, "w") as handle:
+        json.dump(
+            {
+                "format_version": FORMAT_VERSION,
+                "pages": [blueprint_to_dict(page) for page in pages],
+            },
+            handle,
+        )
+
+
+def load_corpus(path: str) -> List[PageBlueprint]:
+    with open(path) as handle:
+        data = json.load(handle)
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ValueError("unsupported corpus format version")
+    return [blueprint_from_dict(item) for item in data["pages"]]

@@ -1,0 +1,129 @@
+"""Corpus statistics: verifying that synthetic pages look like the web.
+
+The reproduction's external validity rests on the corpus matching the
+distributions the paper cites (HTTP Archive page weight/mix, Butkiewicz
+et al.'s complexity measurements).  This module computes those statistics
+for any corpus so tests and benches can check them, and so users tuning
+`CorpusProfile`s can see what they produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.stats import median
+from repro.pages.dynamics import LoadStamp
+from repro.pages.page import PageBlueprint
+from repro.pages.resources import Discovery, ResourceType
+
+
+@dataclass
+class CorpusStatistics:
+    """Aggregate statistics over one corpus at one load stamp."""
+
+    pages: int
+    resource_count_median: float
+    total_bytes_median: float
+    processable_byte_share_median: float
+    domain_count_median: float
+    max_chain_depth_median: float
+    iframe_count_median: float
+    type_mix: Dict[str, float]          # share of resource count by type
+    discovery_mix: Dict[str, float]     # share by discovery channel
+    script_computed_share: float
+    async_script_share: float
+
+    def summary(self) -> str:
+        lines = [
+            f"pages={self.pages}",
+            f"resources/page (median)      {self.resource_count_median:.0f}",
+            f"bytes/page (median)          {self.total_bytes_median / 1e6:.2f} MB",
+            f"processable byte share       {self.processable_byte_share_median:.0%}",
+            f"domains/page (median)        {self.domain_count_median:.0f}",
+            f"max chain depth (median)     {self.max_chain_depth_median:.0f}",
+            f"iframes/page (median)        {self.iframe_count_median:.0f}",
+            f"script-computed share        {self.script_computed_share:.0%}",
+            f"async share among scripts    {self.async_script_share:.0%}",
+        ]
+        mix = ", ".join(
+            f"{name}:{share:.0%}" for name, share in self.type_mix.items()
+        )
+        lines.append(f"type mix: {mix}")
+        return "\n".join(lines)
+
+
+def _chain_depth(page: PageBlueprint, name: str) -> int:
+    depth = 0
+    node: Optional[str] = name
+    while node is not None:
+        node = page.specs[node].parent
+        depth += 1
+    return depth
+
+
+def corpus_statistics(
+    pages: Iterable[PageBlueprint],
+    stamp: Optional[LoadStamp] = None,
+) -> CorpusStatistics:
+    stamp = stamp or LoadStamp(when_hours=500.0)
+    pages = list(pages)
+    counts: List[float] = []
+    bytes_total: List[float] = []
+    processable_share: List[float] = []
+    domains: List[float] = []
+    depths: List[float] = []
+    iframes: List[float] = []
+    type_counts: Dict[str, int] = {}
+    discovery_counts: Dict[str, int] = {}
+    scripts = async_scripts = 0
+    computed = total = 0
+
+    for page in pages:
+        snapshot = page.materialize(stamp)
+        resources = snapshot.all_resources()
+        counts.append(len(resources))
+        bytes_total.append(snapshot.total_bytes())
+        processable_share.append(
+            snapshot.processable_bytes() / snapshot.total_bytes()
+        )
+        domains.append(len(snapshot.domains()))
+        depths.append(
+            max(_chain_depth(page, spec) for spec in page.specs)
+        )
+        iframes.append(
+            sum(1 for doc in snapshot.documents() if doc.parent is not None)
+        )
+        for resource in resources:
+            total += 1
+            type_counts[resource.rtype.value] = (
+                type_counts.get(resource.rtype.value, 0) + 1
+            )
+            discovery_counts[resource.spec.discovery.value] = (
+                discovery_counts.get(resource.spec.discovery.value, 0) + 1
+            )
+            if resource.spec.discovery is Discovery.SCRIPT_COMPUTED:
+                computed += 1
+            if resource.rtype is ResourceType.JS:
+                scripts += 1
+                if resource.spec.exec_async:
+                    async_scripts += 1
+
+    return CorpusStatistics(
+        pages=len(pages),
+        resource_count_median=median(counts),
+        total_bytes_median=median(bytes_total),
+        processable_byte_share_median=median(processable_share),
+        domain_count_median=median(domains),
+        max_chain_depth_median=median(depths),
+        iframe_count_median=median(iframes),
+        type_mix={
+            name: count / total for name, count in sorted(type_counts.items())
+        },
+        discovery_mix={
+            name: count / total
+            for name, count in sorted(discovery_counts.items())
+        },
+        script_computed_share=computed / total if total else 0.0,
+        async_script_share=async_scripts / scripts if scripts else 0.0,
+    )

@@ -1,0 +1,73 @@
+"""Replaying: turn a ReplayStore into per-domain origin servers.
+
+A *response decorator* lets policy layers (Vroom, push strawmen) enrich
+plain recorded responses with dependency hints, push lists and extra server
+think time without re-implementing the transport.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.calibration import SERVER_HTML_THINK_TIME, SERVER_THINK_TIME
+from repro.net.origin import OriginServer, Response
+from repro.replay.store import RecordedResponse, ReplayStore
+
+#: Decorator signature: may mutate/replace the Response for an exchange.
+ResponseDecorator = Callable[[RecordedResponse, Response, bool], Response]
+
+
+def _plain_response(recorded: RecordedResponse) -> Response:
+    think = SERVER_HTML_THINK_TIME if recorded.is_html else SERVER_THINK_TIME
+    cacheable = True
+    if recorded.resource is not None:
+        cacheable = recorded.resource.spec.cacheable
+        if recorded.resource.spec.server_think_time is not None:
+            think = recorded.resource.spec.server_think_time
+    return Response(
+        url=recorded.url,
+        size=recorded.size,
+        think_time=think,
+        meta=recorded.resource,
+        cacheable=cacheable,
+    )
+
+
+def build_servers(
+    store: ReplayStore,
+    decorator: Optional[ResponseDecorator] = None,
+    extra_content: Optional[Dict[str, RecordedResponse]] = None,
+) -> Dict[str, OriginServer]:
+    """One OriginServer per recorded domain.
+
+    ``extra_content`` lets a policy layer serve URLs beyond the recorded
+    set (e.g. stale offline-resolved dependencies that a client is hinted
+    to fetch even though this load does not reference them).
+    """
+    extra_content = extra_content or {}
+
+    def make_responder(domain: str):
+        def respond(url: str, is_push: bool) -> Optional[Response]:
+            recorded = store.lookup(url) or extra_content.get(url)
+            if recorded is None or recorded.domain != domain:
+                return None
+            response = _plain_response(recorded)
+            if decorator is not None:
+                response = decorator(recorded, response, is_push)
+            return response
+
+        return respond
+
+    servers: Dict[str, OriginServer] = {}
+    domains = set(store.domains())
+    domains.update(extra.domain for extra in extra_content.values())
+    for domain in domains:
+        rtt = store.domain_rtts.get(domain)
+        if rtt is None:
+            from repro.replay.recorder import domain_rtt
+
+            rtt = domain_rtt(domain)
+        servers[domain] = OriginServer(
+            domain, make_responder(domain), server_rtt=rtt
+        )
+    return servers

@@ -1,0 +1,112 @@
+"""Tests for the FP/FN accuracy metrics (Fig 21)."""
+
+import pytest
+
+from repro.analysis.accuracy import (
+    AccuracyResult,
+    hintable_universe,
+    predictable_partition,
+    predictable_share,
+    score_strategy,
+)
+from repro.core.resolver import ResolutionStrategy
+
+
+class TestPredictablePartition:
+    def test_partition_is_disjoint_cover(self, page, stamp):
+        predictable, unpredictable, load = predictable_partition(page, stamp)
+        universe = {r.url for r in hintable_universe(load)}
+        assert predictable | unpredictable == universe
+        assert not (predictable & unpredictable)
+
+    def test_nonce_urls_are_unpredictable(self, page, stamp):
+        predictable, unpredictable, load = predictable_partition(page, stamp)
+        for resource in hintable_universe(load):
+            if resource.spec.unpredictable:
+                assert resource.url in unpredictable
+
+    def test_stable_urls_are_predictable(self, page, stamp):
+        predictable, _, load = predictable_partition(page, stamp)
+        for resource in hintable_universe(load):
+            spec = resource.spec
+            if (
+                spec.lifetime_hours is None
+                and not spec.unpredictable
+                and not spec.personalized
+            ):
+                assert resource.url in predictable
+
+    def test_universe_excludes_iframe_content(self, page, stamp):
+        _, _, load = predictable_partition(page, stamp)
+        for resource in hintable_universe(load):
+            assert not resource.in_iframe
+
+
+class TestAccuracyResult:
+    def test_rates(self):
+        result = AccuracyResult(
+            page="p",
+            strategy=ResolutionStrategy.VROOM,
+            predictable_count=50,
+            false_negatives=5,
+            false_positives=10,
+        )
+        assert result.fn_rate == pytest.approx(0.1)
+        assert result.fp_rate == pytest.approx(0.2)
+
+    def test_empty_predictable_set(self):
+        result = AccuracyResult(
+            page="p",
+            strategy=ResolutionStrategy.VROOM,
+            predictable_count=0,
+            false_negatives=0,
+            false_positives=0,
+        )
+        assert result.fn_rate == 0.0
+        assert result.fp_rate == 0.0
+
+
+class TestStrategyScores:
+    def test_vroom_fn_below_offline_fn(self, corpus, stamp):
+        """Fig 21b: online analysis rescues fresh content."""
+        better = 0
+        for page in corpus:
+            vroom = score_strategy(page, stamp, ResolutionStrategy.VROOM)
+            offline = score_strategy(
+                page, stamp, ResolutionStrategy.OFFLINE_ONLY
+            )
+            if vroom.fn_rate <= offline.fn_rate:
+                better += 1
+        assert better >= len(corpus) - 1
+
+    def test_vroom_fn_small(self, corpus, stamp):
+        """Fig 21b: median Vroom FN below ~10% on this corpus."""
+        import statistics
+
+        rates = [
+            score_strategy(page, stamp, ResolutionStrategy.VROOM).fn_rate
+            for page in corpus
+        ]
+        assert statistics.median(rates) < 0.10
+
+    def test_online_only_fp_above_vroom_fp(self, corpus, stamp):
+        """Fig 21c: the online-only strawman's own nonce URLs inflate FP."""
+        import statistics
+
+        online = [
+            score_strategy(
+                page, stamp, ResolutionStrategy.ONLINE_ONLY
+            ).fp_rate
+            for page in corpus
+        ]
+        vroom = [
+            score_strategy(page, stamp, ResolutionStrategy.VROOM).fp_rate
+            for page in corpus
+        ]
+        assert statistics.median(online) > statistics.median(vroom)
+
+    def test_predictable_share_bounds(self, corpus, stamp):
+        for page in corpus[:3]:
+            count_share, byte_share = predictable_share(page, stamp)
+            assert 0.0 <= count_share <= 1.0
+            assert 0.0 <= byte_share <= 1.0

@@ -1,0 +1,70 @@
+"""Tests for paired comparison statistics."""
+
+import pytest
+
+from repro.analysis.comparison import (
+    bootstrap_median_ci,
+    compare_paired,
+)
+
+
+class TestBootstrap:
+    def test_ci_brackets_median(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0] * 10
+        low, high = bootstrap_median_ci(values)
+        assert low <= 3.0 <= high
+
+    def test_ci_deterministic_with_seed(self):
+        values = list(range(30))
+        assert bootstrap_median_ci(values, seed=3) == bootstrap_median_ci(
+            values, seed=3
+        )
+
+    def test_tight_for_constant_data(self):
+        low, high = bootstrap_median_ci([5.0] * 20)
+        assert low == high == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_median_ci([])
+
+
+class TestComparePaired:
+    def test_clear_winner(self):
+        a = [1.0] * 20
+        b = [2.0] * 20
+        result = compare_paired("fast", a, "slow", b)
+        assert result.median_delta == pytest.approx(1.0)
+        assert result.win_rate == 1.0
+        assert result.significant
+
+    def test_tie_is_insignificant(self):
+        a = [1.0, 2.0, 3.0] * 8
+        b = [1.1, 1.9, 3.0] * 8
+        result = compare_paired("a", a, "b", b)
+        assert not result.significant or abs(result.median_delta) < 0.2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compare_paired("a", [1.0], "b", [1.0, 2.0])
+
+    def test_describe(self):
+        result = compare_paired("a", [1.0] * 5, "b", [2.0] * 5)
+        text = result.describe()
+        assert "median delta" in text
+        assert "wins" in text
+
+    def test_real_loads(self, corpus, stamp):
+        """Vroom vs HTTP/2 on real simulated loads is significant."""
+        from repro.baselines.configs import run_config
+        from repro.replay.recorder import record_snapshot
+
+        vroom, http2 = [], []
+        for page in corpus[:4]:
+            snapshot = page.materialize(stamp)
+            store = record_snapshot(snapshot)
+            vroom.append(run_config("vroom", page, snapshot, store).plt)
+            http2.append(run_config("http2", page, snapshot, store).plt)
+        result = compare_paired("vroom", vroom, "http2", http2)
+        assert result.median_delta > 0
+        assert result.win_rate >= 0.75

@@ -1,0 +1,56 @@
+"""Tests for critical-path composition analysis."""
+
+import pytest
+
+from repro.analysis.critical_path import critical_path_composition
+from repro.baselines.configs import run_config
+
+
+class TestComposition:
+    def test_totals_consistent(self, page, snapshot, store):
+        metrics = run_config("http2", page, snapshot, store)
+        composition = critical_path_composition(metrics)
+        assert composition.total == pytest.approx(
+            composition.network_seconds + composition.cpu_seconds
+        )
+        assert composition.total == pytest.approx(
+            sum(composition.by_resource_type.values())
+        )
+
+    def test_fraction_matches_metrics(self, page, snapshot, store):
+        metrics = run_config("http2", page, snapshot, store)
+        composition = critical_path_composition(metrics)
+        assert composition.network_fraction == pytest.approx(
+            metrics.network_wait_fraction
+        )
+
+    def test_party_attribution(self, page, snapshot, store):
+        metrics = run_config("http2", page, snapshot, store)
+        composition = critical_path_composition(
+            metrics, first_party_domain=f"{page.name}.com"
+        )
+        assert set(composition.by_domain_party) <= {
+            "first-party",
+            "third-party",
+        }
+        assert sum(composition.by_domain_party.values()) == pytest.approx(
+            composition.total
+        )
+
+    def test_processable_types_dominate_critical_path(
+        self, page, snapshot, store
+    ):
+        """Chains of documents/scripts, not images, own the slow chain."""
+        metrics = run_config("http2", page, snapshot, store)
+        composition = critical_path_composition(metrics)
+        processable = sum(
+            composition.by_resource_type.get(kind, 0.0)
+            for kind in ("html", "js", "css")
+        )
+        assert processable > composition.total * 0.5
+
+    def test_describe_renders(self, page, snapshot, store):
+        metrics = run_config("vroom", page, snapshot, store)
+        text = critical_path_composition(metrics).describe()
+        assert "critical path" in text
+        assert "network" in text

@@ -1,0 +1,53 @@
+"""Tests for cross-device stable-set overlap (Fig 9)."""
+
+import statistics
+
+from repro.analysis.device_overlap import (
+    intersection_over_union,
+    iou_distributions,
+)
+
+
+class TestIoU:
+    def test_self_iou_is_one(self, page, stamp):
+        assert intersection_over_union(
+            page, stamp, "nexus6", "nexus6"
+        ) == 1.0
+
+    def test_symmetric(self, page, stamp):
+        ab = intersection_over_union(page, stamp, "nexus6", "nexus10")
+        ba = intersection_over_union(page, stamp, "nexus10", "nexus6")
+        assert ab == ba
+
+    def test_bounds(self, page, stamp):
+        iou = intersection_over_union(page, stamp, "nexus6", "nexus10")
+        assert 0.0 <= iou <= 1.0
+
+    def test_phone_pair_overlaps_more_than_tablet(self, corpus, stamp):
+        """Fig 9: the OnePlus 3 matches a Nexus 6 far better than the
+        Nexus 10 tablet does."""
+        phone = [
+            intersection_over_union(page, stamp, "nexus6", "oneplus3")
+            for page in corpus
+        ]
+        tablet = [
+            intersection_over_union(page, stamp, "nexus6", "nexus10")
+            for page in corpus
+        ]
+        assert statistics.median(phone) > statistics.median(tablet)
+
+    def test_same_class_devices_identical_stable_sets(self, corpus, stamp):
+        """Phones share an equivalence class, so their stable sets agree
+        exactly in our model (emulation uses the class representative)."""
+        for page in corpus[:3]:
+            assert intersection_over_union(
+                page, stamp, "nexus6", "oneplus3"
+            ) == 1.0
+
+
+class TestDistributions:
+    def test_shape(self, corpus, stamp):
+        dists = iou_distributions(corpus[:3], stamp)
+        assert set(dists) == {"oneplus3", "nexus10"}
+        for values in dists.values():
+            assert len(values) == 3

@@ -1,0 +1,69 @@
+"""Tests for JSON/HAR export."""
+
+import json
+
+from repro.analysis.export import har_like, metrics_to_dict, timeline_to_dict
+from repro.baselines.configs import run_config
+
+
+class TestMetricsExport:
+    def test_round_trips_through_json(self, page, snapshot, store):
+        metrics = run_config("vroom", page, snapshot, store)
+        data = metrics_to_dict(metrics)
+        text = json.dumps(data)
+        parsed = json.loads(text)
+        assert parsed["page"] == page.name
+        assert parsed["plt"] == metrics.plt
+        assert len(parsed["resources"]) == len(metrics.timelines)
+
+    def test_without_timelines(self, page, snapshot, store):
+        metrics = run_config("http2", page, snapshot, store)
+        data = metrics_to_dict(metrics, include_timelines=False)
+        assert "resources" not in data
+        assert data["network_wait_fraction"] >= 0
+
+    def test_timeline_fields(self, page, snapshot, store):
+        metrics = run_config("http2", page, snapshot, store)
+        timeline = metrics.timelines[snapshot.root.url]
+        data = timeline_to_dict(timeline)
+        assert data["type"] == "html"
+        assert data["discovered_via"] == "navigation"
+        assert data["referenced"] is True
+
+    def test_critical_path_serialised(self, page, snapshot, store):
+        metrics = run_config("http2", page, snapshot, store)
+        data = metrics_to_dict(metrics, include_timelines=False)
+        assert data["critical_path"]
+        for hop in data["critical_path"]:
+            assert hop["kind"] in ("network", "cpu")
+            assert hop["end"] >= hop["start"]
+
+
+class TestHarExport:
+    def test_har_structure(self, page, snapshot, store):
+        metrics = run_config("vroom", page, snapshot, store)
+        har = har_like(metrics)
+        assert har["log"]["version"] == "1.2"
+        assert har["log"]["pages"][0]["id"] == page.name
+        assert har["log"]["entries"]
+
+    def test_entries_sorted_by_start(self, page, snapshot, store):
+        metrics = run_config("http2", page, snapshot, store)
+        entries = har_like(metrics)["log"]["entries"]
+        starts = [entry["startedDateTime"] for entry in entries]
+        assert starts == sorted(starts)
+
+    def test_timings_non_negative_or_sentinel(self, page, snapshot, store):
+        metrics = run_config("vroom", page, snapshot, store)
+        for entry in har_like(metrics)["log"]["entries"]:
+            for value in entry["timings"].values():
+                assert value >= 0 or value == -1.0
+
+    def test_pushed_entries_flagged(self, page, snapshot, store):
+        metrics = run_config("vroom", page, snapshot, store)
+        entries = har_like(metrics)["log"]["entries"]
+        assert any(entry["response"]["pushed"] for entry in entries)
+
+    def test_json_serialisable(self, page, snapshot, store):
+        metrics = run_config("vroom", page, snapshot, store)
+        json.dumps(har_like(metrics))  # must not raise

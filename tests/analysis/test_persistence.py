@@ -1,0 +1,37 @@
+"""Tests for persistence-over-time analysis (Fig 7)."""
+
+from repro.analysis.persistence import (
+    HORIZONS_HOURS,
+    persistence_distributions,
+    persistence_fraction,
+)
+
+
+class TestPersistenceFraction:
+    def test_bounds(self, corpus, stamp):
+        for page in corpus[:3]:
+            for hours in (1.0, 24.0, 24.0 * 7):
+                fraction = persistence_fraction(page, stamp, hours)
+                assert 0.0 <= fraction <= 1.0
+
+    def test_monotone_in_horizon_on_average(self, corpus, stamp):
+        short = sum(
+            persistence_fraction(p, stamp, 1.0) for p in corpus
+        )
+        long = sum(
+            persistence_fraction(p, stamp, 24.0 * 7) for p in corpus
+        )
+        assert short >= long
+
+    def test_zero_horizon_keeps_stable_resources(self, page, stamp):
+        """Back-to-back persistence only loses nonce URLs."""
+        fraction = persistence_fraction(page, stamp, 0.0)
+        assert fraction > 0.5
+
+
+class TestDistributions:
+    def test_all_horizons_present(self, corpus, stamp):
+        dists = persistence_distributions(corpus[:3], stamp)
+        assert set(dists) == set(HORIZONS_HOURS)
+        for values in dists.values():
+            assert len(values) == 3

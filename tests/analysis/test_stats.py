@@ -1,0 +1,61 @@
+"""Unit tests for the statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import Cdf, median, percentile, quartiles
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.3) == 7.0
+
+    def test_quartiles_ordered(self):
+        q1, q2, q3 = quartiles(list(range(100)))
+        assert q1 < q2 < q3
+
+
+class TestCdf:
+    def test_at_is_monotone(self):
+        cdf = Cdf([1.0, 2.0, 3.0, 4.0])
+        fractions = [cdf.at(x) for x in (0.5, 1.5, 2.5, 3.5, 4.5)]
+        assert fractions == sorted(fractions)
+        assert fractions[0] == 0.0
+        assert fractions[-1] == 1.0
+
+    def test_quantile_median(self):
+        assert Cdf([1.0, 2.0, 3.0]).median == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf([])
+
+    def test_points_cover_range(self):
+        cdf = Cdf(list(range(50)))
+        points = cdf.points(steps=10)
+        assert points[-1] == (49, 1.0)
+        fractions = [fraction for _, fraction in points]
+        assert fractions == sorted(fractions)
+
+    def test_render_is_text(self):
+        text = Cdf([1.0, 2.0]).render("demo")
+        assert "demo" in text
+        assert "|" in text

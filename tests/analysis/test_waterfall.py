@@ -1,0 +1,64 @@
+"""Tests for waterfall rendering and phase summaries."""
+
+from repro.analysis.waterfall import (
+    render_waterfall,
+    summarize_phases,
+    waterfall_rows,
+)
+from repro.baselines.configs import run_config
+
+
+class TestWaterfall:
+    def test_rows_cover_referenced_resources(self, page, snapshot, store):
+        metrics = run_config("http2", page, snapshot, store)
+        rows = waterfall_rows(metrics)
+        assert len(rows) == len(
+            [
+                t
+                for t in metrics.referenced_timelines()
+                if t.discovered_at is not None
+            ]
+        )
+
+    def test_rows_sorted_by_discovery(self, page, snapshot, store):
+        metrics = run_config("http2", page, snapshot, store)
+        rows = waterfall_rows(metrics)
+        times = [row.discovered_at for row in rows]
+        assert times == sorted(times)
+
+    def test_render_contains_header_and_rows(self, page, snapshot, store):
+        metrics = run_config("http2", page, snapshot, store)
+        text = render_waterfall(metrics, max_rows=10)
+        assert "waterfall of" in text
+        assert "plt=" in text
+        assert "more resources" in text  # heavy page gets truncated
+
+    def test_render_row_width(self, page, snapshot, store):
+        metrics = run_config("http2", page, snapshot, store)
+        rows = waterfall_rows(metrics)
+        rendered = rows[0].render(width=50, horizon=metrics.plt)
+        body = rendered.split("|")[1]
+        assert len(body) == 50
+
+    def test_span_markers_present(self, page, snapshot, store):
+        metrics = run_config("http2", page, snapshot, store)
+        text = render_waterfall(metrics)
+        assert "=" in text  # network spans exist
+        assert "#" in text  # cpu spans exist
+
+
+class TestPhaseSummary:
+    def test_summary_fields(self, page, snapshot, store):
+        metrics = run_config("vroom", page, snapshot, store)
+        summary = summarize_phases(metrics)
+        assert summary["plt"] == metrics.plt
+        assert summary["resources"] > 50
+        assert summary["pushed"] > 0
+        assert 0.0 <= summary["network_wait_fraction"] <= 1.0
+
+    def test_vroom_summary_shows_earlier_discovery(
+        self, page, snapshot, store
+    ):
+        http2 = summarize_phases(run_config("http2", page, snapshot, store))
+        vroom = summarize_phases(run_config("vroom", page, snapshot, store))
+        assert vroom["discovery_complete"] < http2["discovery_complete"]

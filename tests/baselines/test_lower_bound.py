@@ -1,0 +1,84 @@
+"""Tests for the CPU-bound / network-bound lower bounds."""
+
+import pytest
+
+from repro.baselines.lower_bound import (
+    cpu_bound_load,
+    lower_bound,
+    network_bound_load,
+)
+from repro.replay.replayer import build_servers
+
+
+class TestNetworkBound:
+    def test_no_cpu_time_spent(self, snapshot, store, stamp):
+        metrics = network_bound_load(
+            snapshot, build_servers(store), when_hours=stamp.when_hours
+        )
+        assert metrics.cpu_busy_time == 0.0
+
+    def test_everything_known_upfront(self, snapshot, store, stamp):
+        metrics = network_bound_load(
+            snapshot, build_servers(store), when_hours=stamp.when_hours
+        )
+        assert metrics.discovery_complete_at() == 0.0
+
+    def test_bounded_below_by_transfer_time(self, snapshot, store, stamp):
+        from repro.calibration import LTE_DOWNLINK_BPS
+
+        metrics = network_bound_load(
+            snapshot, build_servers(store), when_hours=stamp.when_hours
+        )
+        pure_transfer = snapshot.total_bytes() * 8.0 / LTE_DOWNLINK_BPS
+        assert metrics.plt >= pure_transfer
+
+
+class TestCpuBound:
+    def test_faster_than_real_load(self, page, snapshot, store, stamp):
+        from repro.baselines.configs import run_config
+
+        cpu = cpu_bound_load(
+            snapshot, build_servers(store), when_hours=stamp.when_hours
+        )
+        real = run_config("http2", page, snapshot, store)
+        assert cpu.plt < real.plt
+
+    def test_cpu_work_still_performed(self, snapshot, store, stamp):
+        metrics = cpu_bound_load(
+            snapshot, build_servers(store), when_hours=stamp.when_hours
+        )
+        assert metrics.cpu_busy_time > 1.0
+
+    def test_dominated_by_cpu(self, snapshot, store, stamp):
+        metrics = cpu_bound_load(
+            snapshot, build_servers(store), when_hours=stamp.when_hours
+        )
+        assert metrics.cpu_busy_time > 0.5 * metrics.plt
+
+
+class TestCombined:
+    def test_lower_bound_is_max(self, snapshot, store, stamp):
+        cpu = cpu_bound_load(
+            snapshot, build_servers(store), when_hours=stamp.when_hours
+        ).plt
+        net = network_bound_load(
+            snapshot, build_servers(store), when_hours=stamp.when_hours
+        ).plt
+        combined = lower_bound(
+            snapshot,
+            lambda: build_servers(store),
+            when_hours=stamp.when_hours,
+        )
+        assert combined == pytest.approx(max(cpu, net))
+
+    def test_bound_below_vroom(self, page, snapshot, store, stamp):
+        """The lower bound must actually bound Vroom from below."""
+        from repro.baselines.configs import run_config
+
+        bound = lower_bound(
+            snapshot,
+            lambda: build_servers(store),
+            when_hours=stamp.when_hours,
+        )
+        vroom = run_config("vroom", page, snapshot, store)
+        assert bound <= vroom.plt * 1.02  # small tolerance for noise

@@ -1,0 +1,65 @@
+"""Tests for the Polaris-style baseline."""
+
+from repro.baselines.polaris import (
+    chain_weights,
+    polaris_load,
+    prior_load_weights,
+)
+from repro.replay.replayer import build_servers
+
+
+class TestChainWeights:
+    def test_parents_outweigh_children(self, snapshot):
+        weights = chain_weights(snapshot)
+        for resource in snapshot.all_resources():
+            for child in resource.children:
+                assert weights[resource.url] >= weights[child.url]
+
+    def test_media_leaves_have_zero_weight(self, snapshot):
+        weights = chain_weights(snapshot)
+        for resource in snapshot.all_resources():
+            if not resource.processable and not resource.children:
+                assert weights[resource.url] == 0.0
+
+    def test_root_has_max_weight(self, snapshot):
+        weights = chain_weights(snapshot)
+        assert weights[snapshot.root.url] == max(weights.values())
+
+
+class TestPriorLoadWeights:
+    def test_keyed_by_stable_names(self, page, stamp):
+        snapshot = page.materialize(stamp)
+        weights = prior_load_weights(page, snapshot.stamp)
+        names = {spec for spec in page.specs}
+        assert set(weights) <= names
+        assert len(weights) > len(page.specs) // 2
+
+
+class TestPolarisLoad:
+    def test_completes_and_respects_discovery(self, page, snapshot, store):
+        metrics = polaris_load(page, snapshot, build_servers(store))
+        assert metrics.plt > 0
+        # Polaris still discovers chains itself: script children are
+        # discovered at/after parent execution.
+        for resource in snapshot.all_resources():
+            timeline = metrics.timelines[resource.url]
+            if timeline.discovered_via == "script":
+                parent = metrics.timelines[resource.parent.url]
+                assert timeline.discovered_at >= parent.processed_at - 1e-9
+
+    def test_polaris_between_http2_and_vroom_on_median(self, corpus, stamp):
+        """Fig 14's ordering, checked on the median of a small corpus."""
+        import statistics
+
+        from repro.baselines.configs import run_config
+        from repro.replay.recorder import record_snapshot
+
+        h2, polaris, vroom = [], [], []
+        for page in corpus[:4]:
+            snapshot = page.materialize(stamp)
+            store = record_snapshot(snapshot)
+            h2.append(run_config("http2", page, snapshot, store).plt)
+            polaris.append(run_config("polaris", page, snapshot, store).plt)
+            vroom.append(run_config("vroom", page, snapshot, store).plt)
+        assert statistics.median(vroom) < statistics.median(h2)
+        assert statistics.median(polaris) < statistics.median(h2) * 1.05

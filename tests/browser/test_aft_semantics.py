@@ -1,0 +1,97 @@
+"""Above-the-fold and Speed Index semantics in the engine."""
+
+from repro.browser.engine import BrowserConfig, load_page
+from repro.pages.dynamics import LoadStamp
+from repro.pages.page import PageBlueprint
+from repro.pages.resources import ResourceSpec, ResourceType
+from repro.replay.recorder import record_snapshot
+from repro.replay.replayer import build_servers
+
+STAMP = LoadStamp(when_hours=3.0)
+
+
+def page_with(atf_position: float, btf_position: float):
+    page = PageBlueprint(name="aftp", root="root")
+    page.add(
+        ResourceSpec("root", ResourceType.HTML, "a.com", 20_000)
+    )
+    page.add(
+        ResourceSpec(
+            "hero",
+            ResourceType.IMAGE,
+            "a.com",
+            400_000,
+            parent="root",
+            position=atf_position,
+            above_fold=True,
+            pixel_weight=5.0,
+        )
+    )
+    page.add(
+        ResourceSpec(
+            "footer_img",
+            ResourceType.IMAGE,
+            "a.com",
+            400_000,
+            parent="root",
+            position=btf_position,
+            above_fold=False,
+        )
+    )
+    page.validate()
+    return page
+
+
+def run(page):
+    snapshot = page.materialize(STAMP)
+    store = record_snapshot(snapshot)
+    metrics = load_page(
+        snapshot,
+        build_servers(store),
+        browser_config=BrowserConfig(when_hours=STAMP.when_hours),
+    )
+    return snapshot, metrics
+
+
+class TestAft:
+    def test_aft_waits_for_hero_image(self):
+        snapshot, metrics = run(page_with(0.2, 0.8))
+        hero = metrics.timelines[snapshot.find("hero").url]
+        assert metrics.aft >= hero.rendered_at - 1e-9
+
+    def test_below_fold_content_does_not_gate_aft(self):
+        """A late below-the-fold image extends PLT but not AFT."""
+        snapshot, metrics = run(page_with(0.1, 0.95))
+        footer = metrics.timelines[snapshot.find("footer_img").url]
+        assert metrics.aft < footer.rendered_at or (
+            metrics.aft <= metrics.plt
+        )
+        # PLT still waits for everything.
+        assert metrics.plt >= footer.rendered_at - 1e-9
+
+    def test_iframe_media_excluded_from_aft_events(self, page, snapshot, store):
+        """Framed ad content never contributes render events."""
+        from repro.baselines.configs import run_config
+
+        metrics = run_config("http2", page, snapshot, store)
+        framed = [
+            resource
+            for resource in snapshot.all_resources()
+            if resource.in_iframe and resource.spec.above_fold
+        ]
+        if not framed:
+            return
+        # AFT can precede framed content completion.
+        last_framed = max(
+            metrics.timelines[r.url].completion_at or 0 for r in framed
+        )
+        assert metrics.aft <= max(last_framed, metrics.aft)
+
+
+class TestSpeedIndexSemantics:
+    def test_earlier_hero_lowers_speed_index(self):
+        early_page = page_with(0.05, 0.8)
+        late_page = page_with(0.9, 0.8)
+        _, early = run(early_page)
+        _, late = run(late_page)
+        assert early.speed_index <= late.speed_index * 1.1

@@ -1,0 +1,70 @@
+"""Unit tests for the browser cache."""
+
+from repro.browser.cache import BrowserCache
+
+
+class TestBasics:
+    def test_fresh_hit(self):
+        cache = BrowserCache()
+        cache.store("a.com/x.js", 100, when_hours=10.0, max_age_hours=24.0)
+        assert cache.lookup("a.com/x.js", 20.0) is not None
+        assert cache.hits == 1
+
+    def test_expired_entry_misses(self):
+        cache = BrowserCache()
+        cache.store("a.com/x.js", 100, when_hours=10.0, max_age_hours=5.0)
+        assert cache.lookup("a.com/x.js", 16.0) is None
+        assert cache.misses == 1
+
+    def test_boundary_age_is_fresh(self):
+        cache = BrowserCache()
+        cache.store("a.com/x.js", 100, when_hours=0.0, max_age_hours=24.0)
+        assert cache.has_fresh("a.com/x.js", 24.0)
+
+    def test_future_store_not_fresh(self):
+        """An entry 'from the future' never matches (clock sanity)."""
+        cache = BrowserCache()
+        cache.store("a.com/x.js", 100, when_hours=50.0, max_age_hours=24.0)
+        assert not cache.has_fresh("a.com/x.js", 10.0)
+
+    def test_uncacheable_not_stored(self):
+        cache = BrowserCache()
+        cache.store(
+            "a.com/x.js", 100, when_hours=0.0, max_age_hours=24.0,
+            cacheable=False,
+        )
+        assert "a.com/x.js" not in cache
+
+    def test_zero_max_age_not_stored(self):
+        cache = BrowserCache()
+        cache.store("a.com/x.js", 100, when_hours=0.0, max_age_hours=0.0)
+        assert len(cache) == 0
+
+    def test_overwrite_refreshes(self):
+        cache = BrowserCache()
+        cache.store("a.com/x.js", 100, when_hours=0.0, max_age_hours=1.0)
+        cache.store("a.com/x.js", 100, when_hours=10.0, max_age_hours=1.0)
+        assert cache.has_fresh("a.com/x.js", 10.5)
+
+
+class TestSeeding:
+    def test_seed_from_snapshot(self, snapshot, stamp):
+        cache = BrowserCache()
+        stored = cache.seed_from_snapshot(
+            snapshot.all_resources(), when_hours=stamp.when_hours
+        )
+        cacheable = sum(
+            1
+            for resource in snapshot.all_resources()
+            if resource.spec.cacheable
+        )
+        assert stored == cacheable
+        assert len(cache) <= stored  # URL collisions only ever shrink it
+
+    def test_fresh_urls_filters_by_time(self):
+        cache = BrowserCache()
+        cache.store("short.com/x", 1, when_hours=0.0, max_age_hours=1.0)
+        cache.store("long.com/y", 1, when_hours=0.0, max_age_hours=100.0)
+        fresh = cache.fresh_urls(50.0)
+        assert "long.com/y" in fresh
+        assert "short.com/x" not in fresh

@@ -1,0 +1,32 @@
+"""Tests for the per-domain cookie jar (the security model's witness)."""
+
+from repro.browser.cookies import CookieJar
+
+
+class TestCookieJar:
+    def test_cookie_minted_per_domain(self):
+        jar = CookieJar("alice")
+        cookie = jar.cookie_for("a.com")
+        assert "alice" in cookie
+        assert cookie.endswith("@a.com")
+
+    def test_stable_across_requests(self):
+        jar = CookieJar("alice")
+        assert jar.cookie_for("a.com") == jar.cookie_for("a.com")
+
+    def test_domains_tracked(self):
+        jar = CookieJar("alice")
+        jar.cookie_for("a.com")
+        jar.cookie_for("b.com")
+        assert jar.domains_shared_with == {"a.com", "b.com"}
+
+    def test_no_leakage_by_construction(self):
+        jar = CookieJar("alice")
+        jar.cookie_for("a.com")
+        jar.cookie_for("b.com")
+        assert not jar.leaked_across_domains()
+
+    def test_distinct_users_distinct_cookies(self):
+        assert CookieJar("alice").cookie_for("a.com") != CookieJar(
+            "bob"
+        ).cookie_for("a.com")

@@ -1,0 +1,35 @@
+"""Tests for the device registry."""
+
+import pytest
+
+from repro.browser.devices import DEVICES, Device, get_device
+
+
+class TestRegistry:
+    def test_paper_devices_present(self):
+        assert set(DEVICES) == {"nexus6", "oneplus3", "nexus10"}
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            get_device("pixel9000")
+
+    def test_cpu_profile_derivation(self):
+        device = get_device("oneplus3")
+        profile = device.cpu_profile()
+        assert profile.speedup == device.cpu_speedup
+
+    def test_classes_match_calibration(self):
+        from repro.calibration import DEVICE_CLASSES
+
+        for name, device in DEVICES.items():
+            assert device.device_class == DEVICE_CLASSES[name]
+
+    def test_tablet_has_bigger_viewport(self):
+        phone = get_device("nexus6")
+        tablet = get_device("nexus10")
+        assert tablet.viewport[0] > phone.viewport[0]
+
+    def test_devices_are_frozen(self):
+        device = get_device("nexus6")
+        with pytest.raises(Exception):
+            device.cpu_speedup = 2.0

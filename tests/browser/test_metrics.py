@@ -1,0 +1,186 @@
+"""Unit tests for load metrics: critical path, Speed Index, timelines."""
+
+import pytest
+
+from repro.browser.metrics import (
+    CriticalHop,
+    LoadMetrics,
+    ResourceTimeline,
+    reconstruct_critical_path,
+    speed_index,
+)
+from repro.pages.resources import Priority
+
+
+def timeline(url, **kw):
+    return ResourceTimeline(url=url, **kw)
+
+
+class TestSpeedIndex:
+    def test_instant_render_is_zero(self):
+        assert speed_index([(0.0, 1.0)], horizon=2.0) == pytest.approx(0.0)
+
+    def test_late_render_is_horizon(self):
+        si = speed_index([(2.0, 1.0)], horizon=2.0)
+        assert si == pytest.approx(2000.0)
+
+    def test_progressive_render_between(self):
+        si = speed_index([(1.0, 1.0), (2.0, 1.0)], horizon=2.0)
+        assert 0 < si < 2000.0
+        assert si == pytest.approx(1500.0)
+
+    def test_no_events_falls_back_to_horizon(self):
+        assert speed_index([], horizon=3.0) == pytest.approx(3000.0)
+
+    def test_earlier_renders_lower_si(self):
+        early = speed_index([(0.5, 1.0), (1.0, 1.0)], horizon=2.0)
+        late = speed_index([(1.5, 1.0), (2.0, 1.0)], horizon=2.0)
+        assert early < late
+
+    def test_weights_matter(self):
+        heavy_early = speed_index([(0.5, 9.0), (2.0, 1.0)], horizon=2.0)
+        heavy_late = speed_index([(0.5, 1.0), (2.0, 9.0)], horizon=2.0)
+        assert heavy_early < heavy_late
+
+
+class TestCriticalPath:
+    def test_single_resource_chain(self):
+        timelines = {
+            "root": timeline(
+                "root",
+                discovered_at=0.0,
+                fetch_started_at=0.0,
+                fetched_at=1.0,
+                processed_at=1.5,
+            )
+        }
+        hops = reconstruct_critical_path(timelines, onload_at=1.5)
+        kinds = [(hop.kind, hop.duration) for hop in hops]
+        assert ("network", pytest.approx(1.0)) in kinds
+        assert ("cpu", pytest.approx(0.5)) in kinds
+
+    def test_chain_walks_discovery_parents(self):
+        timelines = {
+            "root": timeline(
+                "root",
+                discovered_at=0.0,
+                fetch_started_at=0.0,
+                fetched_at=1.0,
+                processed_at=1.2,
+            ),
+            "child": timeline(
+                "child",
+                discovered_at=1.2,
+                discovered_from="root",
+                fetch_started_at=1.2,
+                fetched_at=2.0,
+                processed_at=2.5,
+            ),
+        }
+        hops = reconstruct_critical_path(timelines, onload_at=2.5)
+        urls = {hop.url for hop in hops}
+        assert urls == {"root", "child"}
+        network = sum(h.duration for h in hops if h.kind == "network")
+        assert network == pytest.approx(1.8)
+
+    def test_unreferenced_resources_ignored(self):
+        timelines = {
+            "root": timeline(
+                "root",
+                discovered_at=0.0,
+                fetch_started_at=0.0,
+                fetched_at=1.0,
+            ),
+            "junk": timeline(
+                "junk",
+                referenced=False,
+                discovered_at=0.0,
+                fetch_started_at=0.0,
+                fetched_at=99.0,
+            ),
+        }
+        hops = reconstruct_critical_path(timelines, onload_at=1.0)
+        assert all(hop.url == "root" for hop in hops)
+
+    def test_empty_timelines(self):
+        assert reconstruct_critical_path({}, onload_at=1.0) == []
+
+    def test_hops_are_chronological(self):
+        timelines = {
+            "root": timeline(
+                "root",
+                discovered_at=0.0,
+                fetch_started_at=0.1,
+                fetched_at=1.0,
+                processed_at=1.4,
+            ),
+            "leaf": timeline(
+                "leaf",
+                discovered_at=1.4,
+                discovered_from="root",
+                fetch_started_at=1.5,
+                fetched_at=2.2,
+            ),
+        }
+        hops = reconstruct_critical_path(timelines, onload_at=2.2)
+        starts = [hop.start for hop in hops]
+        assert starts == sorted(starts)
+
+
+class TestLoadMetricsHelpers:
+    def _metrics(self):
+        timelines = {
+            "a": timeline(
+                "a",
+                priority=Priority.PRELOAD,
+                discovered_at=0.5,
+                fetch_started_at=0.5,
+                fetched_at=1.0,
+            ),
+            "b": timeline(
+                "b",
+                priority=Priority.UNIMPORTANT,
+                discovered_at=2.0,
+                fetch_started_at=2.0,
+                fetched_at=3.0,
+            ),
+            "junk": timeline("junk", referenced=False, discovered_at=0.1),
+        }
+        return LoadMetrics(
+            page="p",
+            plt=3.0,
+            aft=2.0,
+            speed_index=1000.0,
+            onload_at=3.0,
+            cpu_busy_time=1.0,
+            bytes_fetched=100.0,
+            wasted_bytes=0.0,
+            timelines=timelines,
+        )
+
+    def test_discovery_complete_all_vs_high(self):
+        metrics = self._metrics()
+        assert metrics.discovery_complete_at() == 2.0
+        assert metrics.discovery_complete_at(high_priority_only=True) == 0.5
+
+    def test_fetch_complete(self):
+        metrics = self._metrics()
+        assert metrics.fetch_complete_at() == 3.0
+        assert metrics.fetch_complete_at(high_priority_only=True) == 1.0
+
+    def test_referenced_timelines_excludes_junk(self):
+        metrics = self._metrics()
+        urls = {t.url for t in metrics.referenced_timelines()}
+        assert urls == {"a", "b"}
+
+    def test_network_wait_fraction_bounds(self):
+        metrics = self._metrics()
+        metrics.critical_path = [
+            CriticalHop("a", "network", 0.0, 1.0),
+            CriticalHop("a", "cpu", 1.0, 4.0),
+        ]
+        assert metrics.network_wait_fraction == pytest.approx(0.25)
+
+    def test_network_wait_fraction_empty_path(self):
+        metrics = self._metrics()
+        assert metrics.network_wait_fraction == 0.0

@@ -1,0 +1,48 @@
+"""Tests for utilization trace sampling."""
+
+from repro.browser.engine import BrowserConfig, load_page
+from repro.replay.replayer import build_servers
+
+
+def traced_load(snapshot, store, interval=0.25):
+    return load_page(
+        snapshot,
+        build_servers(store),
+        browser_config=BrowserConfig(
+            when_hours=snapshot.stamp.when_hours, sample_interval=interval
+        ),
+    )
+
+
+class TestUtilizationTrace:
+    def test_trace_empty_by_default(self, page, snapshot, store):
+        metrics = load_page(
+            snapshot,
+            build_servers(store),
+            browser_config=BrowserConfig(
+                when_hours=snapshot.stamp.when_hours
+            ),
+        )
+        assert metrics.utilization_trace == []
+
+    def test_trace_covers_load(self, snapshot, store):
+        metrics = traced_load(snapshot, store)
+        trace = metrics.utilization_trace
+        assert trace[0][0] == 0.0
+        assert trace[-1][0] >= metrics.plt - 0.5
+
+    def test_trace_sample_spacing(self, snapshot, store):
+        metrics = traced_load(snapshot, store, interval=0.5)
+        times = [t for t, _, _ in metrics.utilization_trace]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(abs(gap - 0.5) < 1e-6 for gap in gaps)
+
+    def test_trace_shows_activity(self, snapshot, store):
+        metrics = traced_load(snapshot, store)
+        assert any(busy for _, busy, _ in metrics.utilization_trace)
+        assert any(n > 0 for _, _, n in metrics.utilization_trace)
+
+    def test_trace_monotone_time(self, snapshot, store):
+        metrics = traced_load(snapshot, store)
+        times = [t for t, _, _ in metrics.utilization_trace]
+        assert times == sorted(times)

@@ -1,0 +1,47 @@
+"""Tests for the ATF-first unimportant-hint ordering extension."""
+
+from repro.baselines.configs import run_config
+from repro.core.resolver import VroomResolver
+from repro.pages.resources import Priority
+
+
+class TestAtfFirstOrdering:
+    def test_atf_media_leads_unimportant_hints(self, page, snapshot, stamp):
+        resolver = VroomResolver(page, atf_first=True)
+        bundle = resolver.hints_for(
+            snapshot.root, as_of_hours=stamp.when_hours
+        )
+        unimportant = bundle.by_priority(Priority.UNIMPORTANT)
+        by_url = snapshot.by_url()
+        flags = [
+            bool(
+                by_url.get(hint.url)
+                and by_url[hint.url].spec.above_fold
+                and not by_url[hint.url].in_iframe
+            )
+            for hint in unimportant
+        ]
+        if True in flags and False in flags:
+            # Every ATF entry precedes every non-ATF entry.
+            assert flags.index(False) > max(
+                i for i, flag in enumerate(flags) if flag
+            ) or flags.index(False) > flags.index(True)
+
+    def test_default_resolver_unchanged(self, page, snapshot, stamp):
+        plain = VroomResolver(page).hints_for(
+            snapshot.root, as_of_hours=stamp.when_hours
+        )
+        atf = VroomResolver(page, atf_first=True).hints_for(
+            snapshot.root, as_of_hours=stamp.when_hours
+        )
+        assert set(plain.urls()) == set(atf.urls())
+
+    def test_config_runs_and_keeps_plt(self, page, snapshot, store):
+        vroom = run_config("vroom", page, snapshot, store)
+        atf = run_config("vroom-atf-first", page, snapshot, store)
+        assert abs(atf.plt - vroom.plt) < vroom.plt * 0.10
+
+    def test_speed_index_not_worse(self, page, snapshot, store):
+        vroom = run_config("vroom", page, snapshot, store)
+        atf = run_config("vroom-atf-first", page, snapshot, store)
+        assert atf.speed_index <= vroom.speed_index * 1.05

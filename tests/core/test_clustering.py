@@ -1,0 +1,76 @@
+"""Tests for page-type clustering (offline-load economics, Sec 7)."""
+
+from repro.core.clustering import (
+    PageCluster,
+    cluster_pages,
+    evaluate_clustering,
+    stable_name_set,
+)
+from repro.pages.corpus import accuracy_corpus, news_sports_corpus
+
+
+class TestStableNameSet:
+    def test_nonempty_for_real_pages(self, page, stamp):
+        names = stable_name_set(page, stamp.when_hours)
+        assert len(names) > 10
+
+    def test_names_belong_to_page(self, page, stamp):
+        names = stable_name_set(page, stamp.when_hours)
+        assert names <= set(page.specs)
+
+
+class TestClusterPages:
+    def test_every_page_placed_once(self, stamp):
+        pages = news_sports_corpus(count=8)
+        clusters = cluster_pages(pages, stamp.when_hours)
+        placed = [member for cluster in clusters for member in cluster.members]
+        assert sorted(p.name for p in placed) == sorted(
+            p.name for p in pages
+        )
+
+    def test_probe_is_member(self, stamp):
+        pages = news_sports_corpus(count=6)
+        for cluster in cluster_pages(pages, stamp.when_hours):
+            assert cluster.probe in cluster.members
+
+    def test_threshold_one_isolates_everything(self, stamp):
+        pages = news_sports_corpus(count=5)
+        clusters = cluster_pages(
+            pages, stamp.when_hours, similarity_threshold=1.01
+        )
+        assert len(clusters) == len(pages)
+
+    def test_threshold_zero_merges_everything(self, stamp):
+        pages = news_sports_corpus(count=5)
+        clusters = cluster_pages(
+            pages, stamp.when_hours, similarity_threshold=0.0
+        )
+        assert len(clusters) == 1
+
+
+class TestEconomics:
+    def test_load_reduction_bounds(self, stamp):
+        pages = accuracy_corpus(count=10)
+        economics = evaluate_clustering(pages, stamp.when_hours)
+        assert 0.0 <= economics.load_reduction < 1.0
+        assert economics.clusters <= economics.pages
+        assert 0.0 <= economics.median_coverage <= 1.0
+
+    def test_same_template_pages_cluster(self, stamp):
+        """Pages generated from the same profile with similar structure
+        should yield fewer clusters than pages."""
+        pages = accuracy_corpus(count=12)
+        economics = evaluate_clustering(
+            pages, stamp.when_hours, similarity_threshold=0.4
+        )
+        assert economics.clusters < economics.pages
+
+    def test_lower_threshold_saves_more_loads(self, stamp):
+        pages = accuracy_corpus(count=10)
+        strict = evaluate_clustering(
+            pages, stamp.when_hours, similarity_threshold=0.8
+        )
+        loose = evaluate_clustering(
+            pages, stamp.when_hours, similarity_threshold=0.3
+        )
+        assert loose.load_reduction >= strict.load_reduction

@@ -1,0 +1,69 @@
+"""Tests for the Vroom+Polaris hybrid policy."""
+
+import statistics
+
+from repro.core.hybrid import HybridScheduler, hybrid_load
+from repro.baselines.configs import run_config
+from repro.baselines.polaris import prior_load_weights
+from repro.replay.recorder import record_snapshot
+
+
+class TestHybridLoad:
+    def test_completes(self, page, snapshot, store):
+        metrics = hybrid_load(page, snapshot, store)
+        assert metrics.plt > 0
+
+    def test_hints_still_staged(self, page, snapshot, store):
+        """The hybrid keeps Vroom's hint machinery intact."""
+        metrics = hybrid_load(page, snapshot, store)
+        hinted = [
+            t
+            for t in metrics.timelines.values()
+            if t.discovered_via == "hint"
+        ]
+        assert hinted
+
+    def test_matches_vroom_at_least_roughly(self, page, snapshot, store):
+        vroom = run_config("vroom", page, snapshot, store).plt
+        hybrid = hybrid_load(page, snapshot, store).plt
+        assert hybrid < vroom * 1.15
+
+    def test_discoveries_use_chain_weights(self, page, snapshot, store):
+        weights = prior_load_weights(page, snapshot.stamp)
+        scheduler = HybridScheduler(weights)
+
+        class FakeEngine:
+            snapshot_urls = snapshot.by_url()
+
+        scheduler.engine = FakeEngine()
+        # A deep-chain script should get a hotter (smaller) priority than
+        # a leaf image.
+        deep = max(
+            (r for r in snapshot.all_resources() if r.rtype.value == "js"),
+            key=lambda r: len(r.descendants()),
+        )
+        leaf = next(
+            r
+            for r in snapshot.all_resources()
+            if not r.processable and not r.children
+        )
+        assert scheduler._chain_priority(deep.url) < scheduler._chain_priority(
+            leaf.url
+        )
+
+
+class TestHybridOnCorpus:
+    def test_hybrid_never_loses_badly_to_vroom(self, corpus, stamp):
+        vroom_plts, hybrid_plts = [], []
+        for page in corpus[:4]:
+            snapshot = page.materialize(stamp)
+            store = record_snapshot(snapshot)
+            vroom_plts.append(
+                run_config("vroom", page, snapshot, store).plt
+            )
+            hybrid_plts.append(
+                run_config("hybrid", page, snapshot, store).plt
+            )
+        assert statistics.median(hybrid_plts) <= statistics.median(
+            vroom_plts
+        ) * 1.1

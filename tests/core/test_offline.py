@@ -1,0 +1,117 @@
+"""Unit tests for offline dependency resolution (stable sets, devices)."""
+
+import pytest
+
+from repro.core.offline import (
+    OfflineResolver,
+    SERVER_USER,
+    device_equivalence_classes,
+)
+from repro.pages.dynamics import LoadStamp, resolve_url
+
+
+class TestOfflineLoads:
+    def test_window_size_and_spacing(self, page):
+        resolver = OfflineResolver(page, period_hours=1.0, window_loads=3)
+        loads = resolver.offline_loads(100.0, "phone")
+        assert len(loads) == 3
+        hours = [snap.stamp.when_hours for snap in loads]
+        assert hours == [97.0, 98.0, 99.0]
+
+    def test_loads_use_server_identity(self, page):
+        resolver = OfflineResolver(page)
+        loads = resolver.offline_loads(100.0, "phone")
+        assert all(snap.stamp.user == SERVER_USER for snap in loads)
+
+    def test_invalid_parameters(self, page):
+        with pytest.raises(ValueError):
+            OfflineResolver(page, period_hours=0.0)
+        with pytest.raises(ValueError):
+            OfflineResolver(page, window_loads=0)
+
+    def test_unknown_device_class(self, page):
+        resolver = OfflineResolver(page)
+        with pytest.raises(ValueError):
+            resolver.offline_loads(100.0, "smartwatch")
+
+
+class TestStableSet:
+    def test_stable_set_excludes_nonce_urls(self, page, stamp):
+        resolver = OfflineResolver(page)
+        stable = resolver.stable_set(stamp.when_hours, "phone")
+        nonce_specs = {
+            spec.name
+            for spec in page.specs.values()
+            if spec.unpredictable
+        }
+        stable_names = {
+            exemplar.name for exemplar in stable.exemplars.values()
+        }
+        assert not (stable_names & nonce_specs)
+
+    def test_stable_set_keeps_long_lived_resources(self, page, stamp):
+        resolver = OfflineResolver(page)
+        stable = resolver.stable_set(stamp.when_hours, "phone")
+        long_lived = [
+            spec
+            for spec in page.specs.values()
+            if spec.lifetime_hours is None
+            and not spec.unpredictable
+            and not spec.personalized
+        ]
+        stable_names = {
+            exemplar.name for exemplar in stable.exemplars.values()
+        }
+        missing = [s.name for s in long_lived if s.name not in stable_names]
+        assert not missing
+
+    def test_stable_subset_of_latest_load(self, page, stamp):
+        resolver = OfflineResolver(page)
+        stable = resolver.stable_set(stamp.when_hours, "phone")
+        latest = resolver.offline_loads(stamp.when_hours, "phone")[-1]
+        assert stable.urls <= set(latest.urls())
+
+    def test_cached_by_time_and_class(self, page, stamp):
+        resolver = OfflineResolver(page)
+        first = resolver.stable_set(stamp.when_hours, "phone")
+        second = resolver.stable_set(stamp.when_hours, "phone")
+        assert first is second
+        tablet = resolver.stable_set(stamp.when_hours, "tablet")
+        assert tablet is not first
+
+    def test_single_prior_load_is_superset(self, page, stamp):
+        resolver = OfflineResolver(page)
+        stable = resolver.stable_set(stamp.when_hours, "phone")
+        single = resolver.single_prior_load(stamp.when_hours, "phone")
+        assert stable.urls <= single.urls
+
+    def test_contains_and_len(self, page, stamp):
+        resolver = OfflineResolver(page)
+        stable = resolver.stable_set(stamp.when_hours, "phone")
+        assert len(stable) == len(stable.urls)
+        any_url = next(iter(stable.urls))
+        assert any_url in stable
+
+
+class TestDeviceClasses:
+    def test_phones_bin_together(self, page, stamp):
+        classes = device_equivalence_classes(
+            page, ["nexus6", "oneplus3", "nexus10"], stamp.when_hours
+        )
+        phone_class = next(
+            members for members in classes.values() if "nexus6" in members
+        )
+        assert "oneplus3" in phone_class
+        assert "nexus10" not in phone_class
+
+    def test_tablet_gets_own_class_on_device_heavy_page(self, corpus, stamp):
+        device_heavy = max(
+            corpus,
+            key=lambda page: sum(
+                1 for spec in page.specs.values() if spec.device_dependent
+            ),
+        )
+        classes = device_equivalence_classes(
+            device_heavy, ["nexus6", "nexus10"], stamp.when_hours
+        )
+        assert len(classes) == 2

@@ -1,0 +1,56 @@
+"""Unit tests for server push policies."""
+
+from repro.core.hints import DependencyHint, bundle_from_hints
+from repro.core.push_policy import PushPolicy, select_pushes
+from repro.pages.resources import Priority
+
+
+def make_bundle():
+    return bundle_from_hints(
+        "a.com/p.html",
+        [
+            DependencyHint("a.com/x.js", Priority.PRELOAD, 0),
+            DependencyHint("a.com/y.css", Priority.PRELOAD, 1),
+            DependencyHint("b.com/z.js", Priority.PRELOAD, 2),
+            DependencyHint("a.com/async.js", Priority.SEMI_IMPORTANT, 3),
+            DependencyHint("a.com/img.jpg", Priority.UNIMPORTANT, 4),
+        ],
+    )
+
+
+class TestSelectPushes:
+    def test_none_policy_pushes_nothing(self):
+        assert select_pushes(PushPolicy.NONE, make_bundle(), "a.com") == []
+
+    def test_high_priority_local_only(self):
+        pushes = select_pushes(
+            PushPolicy.HIGH_PRIORITY_LOCAL, make_bundle(), "a.com"
+        )
+        assert pushes == ["a.com/x.js", "a.com/y.css"]
+
+    def test_cross_origin_never_pushed(self):
+        """Structural security: a server can only push what it owns."""
+        for policy in (PushPolicy.HIGH_PRIORITY_LOCAL, PushPolicy.ALL_LOCAL):
+            pushes = select_pushes(policy, make_bundle(), "a.com")
+            assert all(url.startswith("a.com/") for url in pushes)
+
+    def test_all_local_includes_media(self):
+        pushes = select_pushes(PushPolicy.ALL_LOCAL, make_bundle(), "a.com")
+        assert "a.com/img.jpg" in pushes
+        assert "a.com/async.js" in pushes
+        assert "b.com/z.js" not in pushes
+
+    def test_push_order_follows_hint_order(self):
+        pushes = select_pushes(PushPolicy.ALL_LOCAL, make_bundle(), "a.com")
+        assert pushes == [
+            "a.com/x.js",
+            "a.com/y.css",
+            "a.com/async.js",
+            "a.com/img.jpg",
+        ]
+
+    def test_other_domain_perspective(self):
+        pushes = select_pushes(
+            PushPolicy.HIGH_PRIORITY_LOCAL, make_bundle(), "b.com"
+        )
+        assert pushes == ["b.com/z.js"]

@@ -1,0 +1,73 @@
+"""Warm-cache push suppression: servers never push what clients hold.
+
+Fig 20's methodology: "to prevent wasted bandwidth, resources that were
+already cached at the client were not pushed by servers" (via the cache
+summary of footnote 2).  The engine wires the cache into
+``HttpClient.is_cached``; these tests pin the end-to-end behaviour.
+"""
+
+from repro.browser.cache import BrowserCache
+from repro.browser.engine import BrowserConfig, PageLoadEngine
+from repro.core.scheduler import VroomScheduler
+from repro.core.server import vroom_servers
+from repro.net.http import NetworkConfig
+from repro.net.link import StreamScheduling
+
+
+def vroom_run(page, snapshot, store, cache=None):
+    engine = PageLoadEngine(
+        snapshot,
+        vroom_servers(page, snapshot, store),
+        NetworkConfig(h2_scheduling=StreamScheduling.FIFO),
+        BrowserConfig(when_hours=snapshot.stamp.when_hours, cache=cache),
+        VroomScheduler(),
+    )
+    metrics = engine.run()
+    return engine, metrics
+
+
+class TestPushSuppression:
+    def test_cold_cache_pushes(self, page, snapshot, store):
+        engine, _ = vroom_run(page, snapshot, store)
+        total_pushes = sum(
+            server.pushes_sent for server in engine.client.servers.values()
+        )
+        assert total_pushes > 0
+
+    def test_warm_cache_suppresses_pushes(self, page, snapshot, store):
+        cache = BrowserCache()
+        cache.seed_from_snapshot(
+            snapshot.all_resources(), when_hours=snapshot.stamp.when_hours
+        )
+        cold_engine, _ = vroom_run(page, snapshot, store)
+        warm_engine, _ = vroom_run(page, snapshot, store, cache=cache)
+        cold_pushes = sum(
+            server.pushes_sent
+            for server in cold_engine.client.servers.values()
+        )
+        warm_pushes = sum(
+            server.pushes_sent
+            for server in warm_engine.client.servers.values()
+        )
+        assert warm_pushes < cold_pushes
+
+    def test_no_cached_url_is_pushed(self, page, snapshot, store):
+        cache = BrowserCache()
+        cache.seed_from_snapshot(
+            snapshot.all_resources(), when_hours=snapshot.stamp.when_hours
+        )
+        engine, metrics = vroom_run(page, snapshot, store, cache=cache)
+        for url, timeline in metrics.timelines.items():
+            if timeline.pushed:
+                assert not cache.has_fresh(
+                    url, snapshot.stamp.when_hours
+                ), url
+
+    def test_warm_cache_fewer_bytes(self, page, snapshot, store):
+        cache = BrowserCache()
+        cache.seed_from_snapshot(
+            snapshot.all_resources(), when_hours=snapshot.stamp.when_hours
+        )
+        _, cold = vroom_run(page, snapshot, store)
+        _, warm = vroom_run(page, snapshot, store, cache=cache)
+        assert warm.bytes_fetched < cold.bytes_fetched

@@ -1,0 +1,158 @@
+"""Tests for the Vroom client scheduler (staging, preload semantics)."""
+
+import pytest
+
+from repro.browser.engine import BrowserConfig, PageLoadEngine
+from repro.core.scheduler import FetchAsapScheduler, VroomScheduler
+from repro.core.server import vroom_servers
+from repro.net.http import NetworkConfig
+from repro.net.link import StreamScheduling
+from repro.pages.resources import Priority
+from repro.replay.recorder import record_snapshot
+
+
+def vroom_engine(page, snapshot, store, policy=None, **net_kw):
+    servers = vroom_servers(page, snapshot, store)
+    return PageLoadEngine(
+        snapshot,
+        servers,
+        NetworkConfig(
+            h2_scheduling=StreamScheduling.FIFO, **net_kw
+        ),
+        BrowserConfig(when_hours=snapshot.stamp.when_hours),
+        policy or VroomScheduler(),
+    )
+
+
+class TestStaging:
+    def test_stages_advance_in_order(self, page, snapshot, store):
+        policy = VroomScheduler()
+        transitions = []
+        original = policy._stage_check
+
+        def traced():
+            before = policy.stage
+            original()
+            if policy.stage is not before:
+                transitions.append((before, policy.stage))
+
+        policy._stage_check = traced
+        engine = vroom_engine(page, snapshot, store, policy=policy)
+        engine.run()
+        assert policy.stage is Priority.UNIMPORTANT
+        # Stages only ever move forward (a check may advance two at once).
+        for before, after in transitions:
+            assert after > before
+
+    def test_unimportant_hints_fetched_after_preload(
+        self, page, snapshot, store
+    ):
+        engine = vroom_engine(page, snapshot, store)
+        metrics = engine.run()
+        hint_fetch_starts = {}
+        by_url = snapshot.by_url()
+        for url, timeline in metrics.timelines.items():
+            if timeline.discovered_via != "hint":
+                continue
+            resource = by_url.get(url)
+            if resource is None or timeline.fetch_started_at is None:
+                continue
+            hint_fetch_starts.setdefault(resource.priority, []).append(
+                timeline.fetch_started_at
+            )
+        if Priority.PRELOAD in hint_fetch_starts and (
+            Priority.UNIMPORTANT in hint_fetch_starts
+        ):
+            assert min(hint_fetch_starts[Priority.PRELOAD]) < min(
+                hint_fetch_starts[Priority.UNIMPORTANT]
+            )
+
+    def test_hints_discovered_at_header_time(self, page, snapshot, store):
+        engine = vroom_engine(page, snapshot, store)
+        metrics = engine.run()
+        root_timeline = metrics.timelines[snapshot.root.url]
+        hinted = [
+            t
+            for t in metrics.timelines.values()
+            if t.discovered_via == "hint"
+            and t.discovered_from == snapshot.root.url
+        ]
+        assert hinted
+        for timeline in hinted:
+            assert timeline.discovered_at >= root_timeline.headers_at - 1e-9
+            assert timeline.discovered_at <= root_timeline.fetched_at + 1e-6
+
+    def test_vroom_discovers_earlier_than_plain(self, page, snapshot, store):
+        from repro.replay.replayer import build_servers
+        from repro.browser.engine import load_page
+
+        plain = load_page(
+            snapshot,
+            build_servers(store),
+            NetworkConfig(),
+            BrowserConfig(when_hours=snapshot.stamp.when_hours),
+        )
+        engine = vroom_engine(page, snapshot, store)
+        vroom = engine.run()
+        assert (
+            vroom.discovery_complete_at() <= plain.discovery_complete_at()
+        )
+
+
+class TestPreloadSemantics:
+    def test_prefetched_scripts_not_executed_until_referenced(
+        self, page, snapshot, store
+    ):
+        """Link-preload semantics: bytes may arrive early, evaluation
+        waits for an actual reference."""
+        engine = vroom_engine(page, snapshot, store)
+        metrics = engine.run()
+        for resource in snapshot.all_resources():
+            timeline = metrics.timelines[resource.url]
+            if (
+                timeline.discovered_via == "hint"
+                and resource.rtype.value == "js"
+                and resource.spec.discovery.value == "script"
+                and timeline.processed_at is not None
+            ):
+                parent_timeline = metrics.timelines[resource.parent.url]
+                assert (
+                    timeline.processed_at
+                    >= parent_timeline.processed_at - 1e-9
+                )
+
+
+class TestFetchAsap:
+    def test_asap_fetches_all_hints_immediately(self, page, snapshot, store):
+        engine = vroom_engine(
+            page, snapshot, store, policy=FetchAsapScheduler()
+        )
+        metrics = engine.run()
+        root_headers = metrics.timelines[snapshot.root.url].headers_at
+        hinted = [
+            t
+            for t in metrics.timelines.values()
+            if t.discovered_via == "hint"
+            and t.discovered_from == snapshot.root.url
+        ]
+        for timeline in hinted:
+            assert timeline.fetch_started_at == pytest.approx(
+                timeline.discovered_at, abs=0.02
+            )
+
+
+class TestSchedulerBookkeeping:
+    def test_hinted_urls_tracked(self, page, snapshot, store):
+        policy = VroomScheduler()
+        engine = vroom_engine(page, snapshot, store, policy=policy)
+        engine.run()
+        assert len(policy.hinted_urls()) > 10
+
+    def test_no_duplicate_fetches(self, page, snapshot, store):
+        engine = vroom_engine(page, snapshot, store)
+        engine.run()
+        served = sum(
+            server.requests_served + server.pushes_sent
+            for server in engine.client.servers.values()
+        )
+        assert served == len(engine.client.fetches)

@@ -1,0 +1,125 @@
+"""Tests for Vroom-compliant server construction."""
+
+import pytest
+
+from repro.calibration import VROOM_ONLINE_PARSE_OVERHEAD
+from repro.core.push_policy import PushPolicy
+from repro.core.resolver import ResolutionStrategy
+from repro.core.server import (
+    first_party_domains,
+    hinted_extra_content,
+    make_vroom_decorator,
+    vroom_servers,
+)
+from repro.core.resolver import VroomResolver
+from repro.replay.replayer import build_servers
+
+
+class TestVroomServers:
+    def test_html_responses_carry_hints(self, page, snapshot, store):
+        servers = vroom_servers(page, snapshot, store)
+        root = snapshot.root
+        response = servers[root.domain].respond(root.url)
+        assert response.hints
+
+    def test_media_responses_have_no_hints(self, page, snapshot, store):
+        servers = vroom_servers(page, snapshot, store)
+        media = next(
+            r for r in snapshot.all_resources() if not r.processable
+        )
+        response = servers[media.domain].respond(media.url)
+        assert response.hints == []
+
+    def test_pushes_are_same_domain_high_priority(self, page, snapshot, store):
+        servers = vroom_servers(page, snapshot, store)
+        root = snapshot.root
+        response = servers[root.domain].respond(root.url)
+        for url in response.pushes:
+            assert url.startswith(root.domain + "/")
+
+    def test_online_parse_overhead_added_to_html(self, page, snapshot, store):
+        vroom = vroom_servers(page, snapshot, store)
+        plain = build_servers(store)
+        root = snapshot.root
+        vroom_think = vroom[root.domain].respond(root.url).think_time
+        plain_think = plain[root.domain].respond(root.url).think_time
+        assert vroom_think == pytest.approx(
+            plain_think + VROOM_ONLINE_PARSE_OVERHEAD
+        )
+
+    def test_offline_only_skips_online_overhead(self, page, snapshot, store):
+        offline = vroom_servers(
+            page, snapshot, store, strategy=ResolutionStrategy.OFFLINE_ONLY
+        )
+        plain = build_servers(store)
+        root = snapshot.root
+        assert offline[root.domain].respond(root.url).think_time == (
+            plain[root.domain].respond(root.url).think_time
+        )
+
+    def test_hints_disabled(self, page, snapshot, store):
+        servers = vroom_servers(page, snapshot, store, send_hints=False)
+        root = snapshot.root
+        response = servers[root.domain].respond(root.url)
+        assert response.hints == []
+        assert response.pushes  # push can still happen
+
+    def test_push_policy_none(self, page, snapshot, store):
+        servers = vroom_servers(
+            page, snapshot, store, push_policy=PushPolicy.NONE
+        )
+        root = snapshot.root
+        assert servers[root.domain].respond(root.url).pushes == []
+
+    def test_partial_adoption_restricts_to_first_party(
+        self, page, snapshot, store
+    ):
+        adopting = first_party_domains(page)
+        servers = vroom_servers(
+            page, snapshot, store, adopting_domains=adopting
+        )
+        for doc in snapshot.documents():
+            response = servers[doc.domain].respond(doc.url)
+            if doc.domain in adopting:
+                assert response.hints
+            else:
+                assert response.hints == []
+
+    def test_push_responses_not_decorated(self, page, snapshot, store):
+        servers = vroom_servers(page, snapshot, store)
+        root = snapshot.root
+        pushed = servers[root.domain].respond(root.url, is_push=True)
+        assert pushed.hints == []
+        assert pushed.pushes == []
+
+
+class TestExtraContent:
+    def test_extra_content_covers_all_foreign_hints(
+        self, page, snapshot, store
+    ):
+        resolver = VroomResolver(page)
+        extra = hinted_extra_content(
+            page,
+            snapshot,
+            resolver,
+            as_of_hours=snapshot.stamp.when_hours,
+        )
+        known = set(snapshot.urls())
+        assert not (set(extra) & known)
+        for url, recorded in extra.items():
+            assert recorded.size >= 600
+            assert recorded.domain == url.partition("/")[0]
+
+    def test_servers_can_serve_extraneous_hints(self, page, snapshot, store):
+        servers = vroom_servers(page, snapshot, store)
+        root = snapshot.root
+        response = servers[root.domain].respond(root.url)
+        known = set(snapshot.urls())
+        for hint in response.hints:
+            domain = hint.url.partition("/")[0]
+            if domain in servers:
+                assert servers[domain].respond(hint.url) is not None
+
+
+def test_first_party_domains(page):
+    assert first_party_domains(page) == {f"{page.name}.com"}

@@ -1,0 +1,42 @@
+"""Tests for the two-stage scheduler ablation."""
+
+from repro.baselines.configs import run_config
+from repro.browser.engine import BrowserConfig, PageLoadEngine
+from repro.core.scheduler import TwoStageScheduler
+from repro.core.server import vroom_servers
+from repro.net.http import NetworkConfig
+from repro.net.link import StreamScheduling
+from repro.pages.resources import Priority
+
+
+def two_stage_engine(page, snapshot, store):
+    return PageLoadEngine(
+        snapshot,
+        vroom_servers(page, snapshot, store),
+        NetworkConfig(h2_scheduling=StreamScheduling.FIFO),
+        BrowserConfig(when_hours=snapshot.stamp.when_hours),
+        TwoStageScheduler(),
+    )
+
+
+class TestTwoStage:
+    def test_load_completes(self, page, snapshot, store):
+        metrics = two_stage_engine(page, snapshot, store).run()
+        assert metrics.plt > 0
+
+    def test_no_semi_important_bucket_used(self, page, snapshot, store):
+        engine = two_stage_engine(page, snapshot, store)
+        policy = engine.policy
+        engine.run()
+        assert policy._hinted[Priority.SEMI_IMPORTANT] == []
+
+    def test_runs_via_config_registry(self, page, snapshot, store):
+        metrics = run_config("vroom-two-stage", page, snapshot, store)
+        assert metrics.plt > 0
+
+    def test_close_to_three_stage(self, page, snapshot, store):
+        """The middle class is a refinement, not a cliff: collapsing it
+        should change PLT only modestly on a typical page."""
+        three = run_config("vroom", page, snapshot, store).plt
+        two = run_config("vroom-two-stage", page, snapshot, store).plt
+        assert abs(two - three) < three * 0.25

@@ -1,0 +1,71 @@
+"""Vroom's hint mechanism over HTTP/1.1 (the high-loss fallback).
+
+HTTP/1.1 has no server push, so Vroom degrades to dependency hints plus
+the staged scheduler — Sec 8 notes this combination still works.  These
+tests pin the semantics of that degraded mode.
+"""
+
+from repro.browser.engine import BrowserConfig, PageLoadEngine
+from repro.core.push_policy import PushPolicy
+from repro.core.scheduler import VroomScheduler
+from repro.core.server import vroom_servers
+from repro.net.http import HttpVersion, NetworkConfig
+from repro.replay.replayer import build_servers
+
+
+def h1_vroom_engine(page, snapshot, store):
+    servers = vroom_servers(
+        page, snapshot, store, push_policy=PushPolicy.NONE
+    )
+    return PageLoadEngine(
+        snapshot,
+        servers,
+        NetworkConfig(version=HttpVersion.HTTP1),
+        BrowserConfig(when_hours=snapshot.stamp.when_hours),
+        policy=VroomScheduler(),
+    )
+
+
+class TestVroomOverHttp1:
+    def test_load_completes(self, page, snapshot, store):
+        metrics = h1_vroom_engine(page, snapshot, store).run()
+        assert metrics.plt > 0
+
+    def test_no_pushes_happen(self, page, snapshot, store):
+        engine = h1_vroom_engine(page, snapshot, store)
+        engine.run()
+        assert all(
+            server.pushes_sent == 0
+            for server in engine.client.servers.values()
+        )
+
+    def test_hints_still_drive_early_discovery(self, page, snapshot, store):
+        from repro.browser.engine import load_page
+
+        vroom = h1_vroom_engine(page, snapshot, store).run()
+        plain = load_page(
+            snapshot,
+            build_servers(store),
+            NetworkConfig(version=HttpVersion.HTTP1),
+            BrowserConfig(when_hours=snapshot.stamp.when_hours),
+        )
+        assert vroom.discovery_complete_at() < plain.discovery_complete_at()
+
+    def test_beats_plain_http1(self, page, snapshot, store):
+        from repro.browser.engine import load_page
+
+        vroom = h1_vroom_engine(page, snapshot, store).run()
+        plain = load_page(
+            snapshot,
+            build_servers(store),
+            NetworkConfig(version=HttpVersion.HTTP1),
+            BrowserConfig(when_hours=snapshot.stamp.when_hours),
+        )
+        assert vroom.plt < plain.plt
+
+    def test_connection_limit_respected(self, page, snapshot, store):
+        """Prefetch storms must still obey six connections per domain."""
+        engine = h1_vroom_engine(page, snapshot, store)
+        engine.run()
+        for domain, state in engine.client._domains.items():
+            assert len(state.connections) <= 6, domain

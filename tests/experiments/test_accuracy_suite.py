@@ -1,0 +1,62 @@
+"""Tests for the multi-user / multi-hour accuracy protocol."""
+
+import statistics
+
+from repro.core.resolver import ResolutionStrategy
+from repro.experiments.accuracy_suite import (
+    USERS,
+    accuracy_over_time,
+    multi_user_accuracy,
+    sweep_accuracy,
+)
+from repro.pages.corpus import accuracy_corpus
+
+
+class TestSweepAccuracy:
+    def test_sample_count(self):
+        pages = accuracy_corpus(count=3)
+        sweep = sweep_accuracy(
+            pages, ResolutionStrategy.VROOM, hours=(0.0, 12.0)
+        )
+        assert len(sweep) == 3 * len(USERS) * 2
+
+    def test_rates_bounded(self):
+        pages = accuracy_corpus(count=3)
+        sweep = sweep_accuracy(pages, ResolutionStrategy.OFFLINE_ONLY)
+        assert all(0.0 <= rate <= 2.0 for rate in sweep.fn_rates)
+        assert all(rate >= 0.0 for rate in sweep.fp_rates)
+
+    def test_users_see_same_fn_for_unpersonalized_pages(self):
+        """Vroom's FN is driven by flux, not by which user loads the
+        page (personalised content is excluded from the envelope)."""
+        pages = accuracy_corpus(count=2)
+        per_user = {
+            user: sweep_accuracy(
+                pages, ResolutionStrategy.VROOM, users=(user,)
+            )
+            for user in USERS[:2]
+        }
+        medians = [
+            statistics.median(sweep.fn_rates)
+            for sweep in per_user.values()
+        ]
+        assert max(medians) - min(medians) < 0.05
+
+
+class TestMultiUser:
+    def test_vroom_still_best_under_full_protocol(self):
+        series = multi_user_accuracy(count=4, hours=(0.0, 7.0))
+        assert statistics.median(series["vroom_fn"]) <= statistics.median(
+            series["offline_only_fn"]
+        )
+        assert statistics.median(
+            series["online_only_fp"]
+        ) >= statistics.median(series["vroom_fp"])
+
+
+class TestOverTime:
+    def test_fn_stays_low_across_hours(self):
+        series = accuracy_over_time(count=4, horizon_hours=24.0,
+                                    step_hours=12.0)
+        assert len(series["hour"]) == len(series["vroom_fn_median"]) == 3
+        assert max(series["vroom_fn_median"]) < 0.20

@@ -1,0 +1,33 @@
+"""Smoke tests for the extension experiments."""
+
+import statistics
+
+from repro.experiments import extensions
+
+
+def test_adoption_sweep_shape():
+    series = extensions.adoption_sweep(count=4, fractions=(0.0, 1.0))
+    assert set(series) == {"adopt_000", "adopt_100"}
+    assert statistics.median(series["adopt_100"]) < statistics.median(
+        series["adopt_000"]
+    )
+
+
+def test_hybrid_comparison_columns():
+    series = extensions.hybrid_comparison(count=4)
+    assert set(series) == {"vroom", "polaris", "hybrid"}
+    assert all(len(values) == 4 for values in series.values())
+
+
+def test_network_regimes_subset():
+    result = extensions.network_regimes(count=2)
+    assert "lte" in result and "wifi" in result
+    for rows in result.values():
+        assert len(rows["http2"]) == 2
+        assert all(v > 0 for v in rows["vroom"])
+
+
+def test_clustering_economics_fields():
+    result = extensions.clustering_economics(count=8)
+    assert result["pages"] == 8.0
+    assert 0 < result["clusters"] <= 8

@@ -1,0 +1,71 @@
+"""Contract tests: every figure function returns the documented series.
+
+Benchmarks consume these dictionaries positionally; a silently renamed
+key would turn a figure bench into a KeyError at bench time.  These
+contracts run in the fast suite on tiny corpora.
+"""
+
+import pytest
+
+from repro.experiments import extensions, figures
+
+FIGURE_CONTRACTS = {
+    figures.fig1_plt_today: {
+        "top100_http1_plt", "news_sports_http1_plt",
+    },
+    figures.fig2_lower_bounds: {
+        "network_bound", "cpu_bound", "max_cpu_network", "loads_from_web",
+    },
+    figures.fig3_http2_estimate: {
+        "http2_baseline", "push_all_static", "http1", "loads_from_web",
+    },
+    figures.fig4_critical_path: {
+        "http2_network_fraction", "vroom_network_fraction",
+    },
+    figures.fig7_persistence: {"one_hour", "one_day", "one_week"},
+    figures.fig9_device_iou: {"oneplus3", "nexus10"},
+    figures.fig14_polaris: {"vroom", "polaris"},
+    figures.fig16_discovery_fetch: {
+        "discovery_all", "discovery_high", "fetch_all", "fetch_high",
+    },
+    figures.flux_calibration: {"back_to_back_flux"},
+}
+
+
+@pytest.mark.parametrize(
+    "func,expected_keys",
+    list(FIGURE_CONTRACTS.items()),
+    ids=[func.__name__ for func in FIGURE_CONTRACTS],
+)
+def test_figure_series_contract(func, expected_keys):
+    result = func(count=2)
+    assert set(result) == expected_keys
+    for key, series in result.items():
+        assert isinstance(series, list), key
+        assert all(isinstance(v, float) for v in series), key
+
+
+def test_fig13_contract():
+    collected = figures.fig13_headline(count=2)
+    assert set(collected) == {"plt", "aft", "speed_index"}
+    for metric_map in collected.values():
+        assert set(metric_map) == {"http1", "http2", "vroom", "lower_bound"}
+
+
+def test_quartile_figures_contract():
+    result = figures.fig17_prev_load(count=2)
+    assert set(result) == {
+        "lower_bound", "vroom", "deps_from_previous_load", "http2_baseline",
+    }
+    for quartile_tuple in result.values():
+        assert len(quartile_tuple) == 3
+
+
+def test_extension_contracts():
+    sweep = extensions.adoption_sweep(count=2, fractions=(0.0, 1.0))
+    assert set(sweep) == {"adopt_000", "adopt_100"}
+    econ = extensions.clustering_economics(count=4)
+    assert set(econ) == {
+        "pages", "clusters", "hourly_load_reduction",
+        "median_stable_coverage",
+    }

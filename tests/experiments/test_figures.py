@@ -1,0 +1,133 @@
+"""Smoke + shape tests for the per-figure regeneration functions.
+
+Each figure function runs on a tiny corpus here; the benchmarks run them
+at full size.  Shape assertions mirror the paper's qualitative claims.
+"""
+
+import statistics
+
+import pytest
+
+from repro.experiments import figures
+
+
+@pytest.fixture(scope="module")
+def n():
+    return 6  # pages per corpus in these smoke runs
+
+
+class TestMotivationFigures:
+    def test_fig1_news_slower_than_top100(self, n):
+        series = figures.fig1_plt_today(count=n)
+        assert statistics.median(
+            series["news_sports_http1_plt"]
+        ) > statistics.median(series["top100_http1_plt"])
+
+    def test_fig2_bounds_below_web(self, n):
+        series = figures.fig2_lower_bounds(count=n)
+        assert statistics.median(
+            series["max_cpu_network"]
+        ) < statistics.median(series["loads_from_web"])
+        for cpu, net, combined in zip(
+            series["cpu_bound"],
+            series["network_bound"],
+            series["max_cpu_network"],
+        ):
+            assert combined == max(cpu, net)
+
+    def test_fig3_http2_between_bound_and_http1(self, n):
+        series = figures.fig3_http2_estimate(count=n)
+        assert statistics.median(series["http2_baseline"]) <= (
+            statistics.median(series["http1"])
+        )
+
+    def test_fig4_network_fraction_positive(self, n):
+        series = figures.fig4_critical_path(count=n)
+        assert all(0 <= f <= 1 for f in series["http2_network_fraction"])
+        assert statistics.median(series["http2_network_fraction"]) > 0.1
+
+
+class TestDesignFigures:
+    def test_fig7_horizons(self, n):
+        series = figures.fig7_persistence(count=n)
+        assert statistics.median(series["one_hour"]) >= statistics.median(
+            series["one_week"]
+        )
+
+    def test_fig9_phone_overlap_higher(self, n):
+        series = figures.fig9_device_iou(count=n)
+        assert statistics.median(series["oneplus3"]) > statistics.median(
+            series["nexus10"]
+        )
+
+    def test_fig11_vroom_gentler_than_asap(self):
+        series = figures.fig11_scheduling_example()
+        assert len(series["vroom_delta"]) == len(
+            series["push_all_fetch_asap_delta"]
+        )
+        # Vroom should not delay early processable resources more than
+        # the fetch-ASAP strawman does on aggregate.
+        assert sum(series["vroom_delta"]) <= sum(
+            series["push_all_fetch_asap_delta"]
+        )
+
+
+class TestEvaluationFigures:
+    def test_fig13_ordering(self, n):
+        collected = figures.fig13_headline(count=n)
+        plt = collected["plt"]
+        assert statistics.median(plt["vroom"]) < statistics.median(
+            plt["http2"]
+        )
+        assert statistics.median(plt["lower_bound"]) <= statistics.median(
+            plt["vroom"]
+        )
+        assert set(collected) == {"plt", "aft", "speed_index"}
+
+    def test_fig14_vroom_beats_polaris_at_median(self, n):
+        series = figures.fig14_polaris(count=n)
+        assert statistics.median(series["vroom"]) < statistics.median(
+            series["polaris"]
+        )
+
+    def test_fig15_gap_positive(self):
+        result = figures.fig15_aft_example()
+        assert result["aft_gap"] > 0
+
+    def test_fig16_improvements_mostly_positive(self, n):
+        series = figures.fig16_discovery_fetch(count=n)
+        assert statistics.median(series["discovery_all"]) > 0
+        assert statistics.median(series["fetch_all"]) > 0
+
+    def test_fig17_shape(self, n):
+        series = figures.fig17_prev_load(count=n)
+        assert series["lower_bound"][1] <= series["vroom"][1]
+        assert series["vroom"][1] <= series["http2_baseline"][1]
+
+    def test_fig18_vroom_beats_push_only(self, n):
+        series = figures.fig18_push_only(count=n)
+        assert series["vroom"][1] < series["push_all_no_hints"][1]
+
+    def test_fig19_vroom_beats_strawman(self, n):
+        series = figures.fig19_scheduling(count=n)
+        assert series["vroom"][1] <= series["push_all_fetch_asap"][1]
+        assert series["vroom"][1] < series["no_push_no_hints"][1]
+
+    def test_fig20_warm_cache_gains(self):
+        result = figures.fig20_warm_cache(count=4)
+        for label in ("b2b", "1day", "1week"):
+            assert result[label]["median_gain"][0] > 0
+
+    def test_fig21_shapes(self):
+        series = figures.fig21_accuracy(count=10)
+        assert statistics.median(series["vroom_fn"]) <= statistics.median(
+            series["offline_only_fn"]
+        )
+        assert statistics.median(
+            series["online_only_fp"]
+        ) >= statistics.median(series["vroom_fp"])
+        assert statistics.median(series["predictable_count_share"]) > 0.6
+
+    def test_flux_calibration(self, n):
+        series = figures.flux_calibration(count=n)
+        assert all(0 <= f <= 1 for f in series["back_to_back_flux"])

@@ -1,0 +1,66 @@
+"""Tests for the experiment harness."""
+
+from repro.experiments.harness import ExperimentRun, load_once, sweep_configs
+from repro.experiments.report import describe_series, median_table, print_figure
+
+
+class TestExperimentRun:
+    def test_add_and_series(self):
+        run = ExperimentRun(metric="plt")
+        run.add("http2", 1.0)
+        run.add("http2", 2.0)
+        run.add("vroom", 0.5)
+        assert run.series("http2") == [1.0, 2.0]
+        assert run.series("vroom") == [0.5]
+
+
+class TestLoadOnce:
+    def test_returns_metrics(self, page):
+        metrics = load_once(page, "http2")
+        assert metrics.plt > 0
+
+
+class TestSweep:
+    def test_sweep_collects_all(self, corpus):
+        run = sweep_configs(corpus[:2], ["http2", "vroom"])
+        assert len(run.series("http2")) == 2
+        assert len(run.series("vroom")) == 2
+
+    def test_custom_metric(self, corpus):
+        run = sweep_configs(
+            corpus[:2],
+            ["http2"],
+            metric=lambda metrics: metrics.aft,
+            metric_name="aft",
+        )
+        assert run.metric == "aft"
+        assert all(value > 0 for value in run.series("http2"))
+
+    def test_per_page_hook(self, corpus):
+        seen = []
+        sweep_configs(
+            corpus[:2],
+            ["http2"],
+            per_page_hook=lambda page, config, metrics: seen.append(
+                (page.name, config)
+            ),
+        )
+        assert len(seen) == 2
+
+
+class TestReport:
+    def test_describe_series(self):
+        row = describe_series("demo", [1.0, 2.0, 3.0], paper=2.5)
+        assert "demo" in row
+        assert "median" in row
+        assert "paper~" in row
+
+    def test_print_figure(self, capsys):
+        block = print_figure("Fig X", {"a": [1.0, 2.0], "empty": []})
+        out = capsys.readouterr().out
+        assert "Fig X" in out
+        assert "(empty)" in block
+
+    def test_median_table(self):
+        table = median_table({"a": [1.0, 3.0], "b": []})
+        assert table == {"a": 2.0}

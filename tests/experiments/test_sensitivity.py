@@ -1,0 +1,17 @@
+"""Smoke tests for the sensitivity sweep."""
+
+from repro.experiments.sensitivity import sensitivity_sweep
+
+
+def test_sweep_structure():
+    result = sensitivity_sweep(count=2, multipliers=(1.0,))
+    assert set(result) == {"bandwidth", "rtt", "cpu_speed"}
+    for ratios in result.values():
+        assert set(ratios) == {1.0}
+        assert 0.3 < ratios[1.0] < 1.2
+
+
+def test_vroom_wins_at_calibrated_point():
+    result = sensitivity_sweep(count=3, multipliers=(1.0,))
+    for knob, ratios in result.items():
+        assert ratios[1.0] < 1.0, knob

@@ -1,0 +1,40 @@
+"""Tests for the utilization experiment (Sec 3's decoupling thesis)."""
+
+import statistics
+
+from repro.baselines.configs import run_config
+from repro.experiments.utilization import utilization_comparison
+
+
+class TestPerLoadUtilization:
+    def test_utilizations_bounded(self, page, snapshot, store):
+        metrics = run_config("http2", page, snapshot, store)
+        assert 0.0 < metrics.cpu_utilization <= 1.0
+        assert 0.0 < metrics.link_utilization <= 1.0
+
+    def test_link_busy_time_positive(self, page, snapshot, store):
+        metrics = run_config("http2", page, snapshot, store)
+        assert metrics.link_busy_time > 0.5
+
+    def test_vroom_raises_cpu_utilization(self, page, snapshot, store):
+        """The headline mechanism: decoupling keeps the CPU fed."""
+        http2 = run_config("http2", page, snapshot, store)
+        vroom = run_config("vroom", page, snapshot, store)
+        assert vroom.cpu_utilization > http2.cpu_utilization
+
+
+class TestComparison:
+    def test_sweep_shape(self):
+        result = utilization_comparison(count=4)
+        assert set(result) == {"http1", "http2", "vroom"}
+        for rows in result.values():
+            assert len(rows["cpu"]) == 4
+            assert len(rows["link"]) == 4
+
+    def test_vroom_best_cpu_utilization_at_median(self):
+        result = utilization_comparison(count=6)
+        vroom = statistics.median(result["vroom"]["cpu"])
+        http2 = statistics.median(result["http2"]["cpu"])
+        http1 = statistics.median(result["http1"]["cpu"])
+        assert vroom > http2
+        assert vroom > http1

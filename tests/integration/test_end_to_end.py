@@ -1,0 +1,124 @@
+"""End-to-end integration tests across the whole stack."""
+
+import statistics
+
+import pytest
+
+from repro import (
+    LoadStamp,
+    news_sports_corpus,
+    record_snapshot,
+    run_config,
+)
+from repro.calibration import DEFAULT_EVAL_HOUR, PAPER_TARGETS
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    """PLTs of four pages under the main configurations."""
+    stamp = LoadStamp(when_hours=DEFAULT_EVAL_HOUR)
+    results = {}
+    for page in news_sports_corpus(count=4):
+        snapshot = page.materialize(stamp)
+        store = record_snapshot(snapshot)
+        for config in (
+            "http1",
+            "http2",
+            "vroom",
+            "polaris",
+            "cpu-bound",
+            "network-bound",
+        ):
+            metrics = run_config(config, page, snapshot, store)
+            results.setdefault(config, []).append(metrics)
+    return results
+
+
+def medians(loaded, config):
+    return statistics.median(m.plt for m in loaded[config])
+
+
+class TestHeadlineOrdering:
+    def test_vroom_beats_http2(self, loaded):
+        assert medians(loaded, "vroom") < medians(loaded, "http2")
+
+    def test_http2_not_slower_than_http1(self, loaded):
+        assert medians(loaded, "http2") <= medians(loaded, "http1") * 1.02
+
+    def test_lower_bound_bounds_everything(self, loaded):
+        bound = statistics.median(
+            max(cpu.plt, net.plt)
+            for cpu, net in zip(loaded["cpu-bound"], loaded["network-bound"])
+        )
+        for config in ("http1", "http2", "vroom", "polaris"):
+            assert bound <= medians(loaded, config) * 1.05, config
+
+    def test_vroom_near_lower_bound(self, loaded):
+        """Fig 13a: Vroom closely matches the achievable lower bound."""
+        bound = statistics.median(
+            max(cpu.plt, net.plt)
+            for cpu, net in zip(loaded["cpu-bound"], loaded["network-bound"])
+        )
+        ratio = medians(loaded, "vroom") / bound
+        paper_ratio = (
+            PAPER_TARGETS.vroom_median_plt
+            / PAPER_TARGETS.lower_bound_median_plt
+        )
+        # Four pages is a noisy sample; the benchmark suite checks the
+        # full corpus, where the ratio lands within a few percent.
+        assert ratio < paper_ratio * 1.55
+
+    def test_improvement_factor_in_paper_ballpark(self, loaded):
+        """Vroom/HTTP2 ratio should be within a generous band of the
+        paper's 5.1/7.3."""
+        ratio = medians(loaded, "vroom") / medians(loaded, "http2")
+        assert 0.5 < ratio < 0.95
+
+
+class TestSecondaryMetrics:
+    def test_vroom_improves_aft(self, loaded):
+        vroom_aft = statistics.median(m.aft for m in loaded["vroom"])
+        http2_aft = statistics.median(m.aft for m in loaded["http2"])
+        assert vroom_aft < http2_aft
+
+    def test_vroom_speed_index_close_to_http2(self, loaded):
+        """Known deviation (see EXPERIMENTS.md): hint fan-out contends
+        with the root document's bytes in our link model, so Vroom's
+        Speed Index lands slightly above HTTP/2's instead of slightly
+        below.  Bound the regression rather than assert the paper's sign.
+        """
+        vroom_si = statistics.median(m.speed_index for m in loaded["vroom"])
+        http2_si = statistics.median(m.speed_index for m in loaded["http2"])
+        assert vroom_si < http2_si * 1.30
+
+    def test_vroom_reduces_network_wait_on_critical_path(self, loaded):
+        vroom = statistics.median(
+            m.network_wait_fraction for m in loaded["vroom"]
+        )
+        http2 = statistics.median(
+            m.network_wait_fraction for m in loaded["http2"]
+        )
+        assert vroom < http2
+
+    def test_vroom_speeds_discovery(self, loaded):
+        vroom = statistics.median(
+            m.discovery_complete_at() for m in loaded["vroom"]
+        )
+        http2 = statistics.median(
+            m.discovery_complete_at() for m in loaded["http2"]
+        )
+        assert vroom < http2
+
+
+class TestConservation:
+    def test_bytes_fetched_at_least_page_bytes(self, loaded):
+        stamp = LoadStamp(when_hours=DEFAULT_EVAL_HOUR)
+        pages = news_sports_corpus(count=4)
+        for page, metrics in zip(pages, loaded["http2"]):
+            snapshot = page.materialize(stamp)
+            total = snapshot.total_bytes()
+            assert metrics.bytes_fetched >= total * 0.95
+
+    def test_no_wasted_bytes_without_hints(self, loaded):
+        for metrics in loaded["http2"]:
+            assert metrics.wasted_bytes == 0.0

@@ -1,0 +1,145 @@
+"""Cross-configuration invariant sweep.
+
+Every configuration, on every page in a small corpus, must satisfy the
+universal page-load invariants — ordering of per-resource events, byte
+conservation, onload consistency.  Catching a violation here usually
+means a scheduling or bookkeeping bug somewhere in the stack.
+"""
+
+import pytest
+
+from repro.baselines.configs import run_config
+from repro.replay.recorder import record_snapshot
+
+SWEEP_CONFIGS = (
+    "http1",
+    "http2",
+    "vroom",
+    "vroom-first-party",
+    "polaris",
+    "hybrid",
+    "push-all-fetch-asap",
+    "deps-prev-load",
+)
+
+
+@pytest.fixture(scope="module")
+def sweep(corpus, stamp):
+    results = []
+    for page in corpus[:3]:
+        snapshot = page.materialize(stamp)
+        store = record_snapshot(snapshot)
+        for config in SWEEP_CONFIGS:
+            metrics = run_config(config, page, snapshot, store)
+            results.append((page, snapshot, config, metrics))
+    return results
+
+
+class TestEventOrdering:
+    def test_fetch_starts_after_discovery(self, sweep):
+        for _, _, config, metrics in sweep:
+            for timeline in metrics.referenced_timelines():
+                if timeline.fetch_started_at is None:
+                    continue
+                if timeline.pushed:
+                    # Pushed bytes legitimately precede client knowledge:
+                    # the server initiates the stream; the client learns
+                    # of the resource when the push headers arrive.
+                    continue
+                assert (
+                    timeline.fetch_started_at
+                    >= timeline.discovered_at - 1e-9
+                ), (config, timeline.url)
+
+    def test_headers_between_start_and_completion(self, sweep):
+        for _, _, config, metrics in sweep:
+            for timeline in metrics.referenced_timelines():
+                if timeline.headers_at is None or timeline.from_cache:
+                    continue
+                assert (
+                    timeline.fetch_started_at - 1e-9
+                    <= timeline.headers_at
+                    <= (timeline.fetched_at or float("inf")) + 1e-9
+                ), (config, timeline.url)
+
+    def test_processing_after_fetch(self, sweep):
+        for _, _, config, metrics in sweep:
+            for timeline in metrics.referenced_timelines():
+                if timeline.processed_at is None:
+                    continue
+                assert (
+                    timeline.processed_at >= (timeline.fetched_at or 0) - 1e-9
+                ), (config, timeline.url)
+
+    def test_causal_discovery_chain(self, sweep):
+        """Whatever revealed a resource finished some work before."""
+        for _, _, config, metrics in sweep:
+            for timeline in metrics.referenced_timelines():
+                parent_url = timeline.discovered_from
+                if parent_url is None:
+                    continue
+                parent = metrics.timelines.get(parent_url)
+                if parent is None or parent.discovered_at is None:
+                    continue
+                assert (
+                    timeline.discovered_at >= parent.discovered_at - 1e-9
+                ), (config, timeline.url)
+
+
+class TestCompletionConsistency:
+    def test_onload_is_last_referenced_completion(self, sweep):
+        for _, _, config, metrics in sweep:
+            last = max(
+                timeline.completion_at or 0.0
+                for timeline in metrics.referenced_timelines()
+            )
+            assert metrics.plt == pytest.approx(last, abs=1e-6), config
+
+    def test_every_referenced_resource_completed(self, sweep):
+        for _, snapshot, config, metrics in sweep:
+            for resource in snapshot.all_resources():
+                timeline = metrics.timelines[resource.url]
+                assert timeline.fetched_at is not None, (
+                    config,
+                    resource.name,
+                )
+                if resource.processable:
+                    assert timeline.processed_at is not None, (
+                        config,
+                        resource.name,
+                    )
+
+    def test_aft_within_load(self, sweep):
+        for _, _, config, metrics in sweep:
+            assert 0 < metrics.aft <= metrics.plt + 1e-9, config
+
+    def test_speed_index_positive_and_bounded(self, sweep):
+        for _, _, config, metrics in sweep:
+            assert 0 < metrics.speed_index <= metrics.aft * 1000.0 + 1.0, (
+                config
+            )
+
+
+class TestResourceAccounting:
+    def test_bytes_cover_page(self, sweep):
+        for _, snapshot, config, metrics in sweep:
+            cached = sum(
+                timeline.size
+                for timeline in metrics.referenced_timelines()
+                if timeline.from_cache
+            )
+            assert (
+                metrics.bytes_fetched + cached
+                >= snapshot.total_bytes() * 0.95
+            ), config
+
+    def test_cpu_busy_at_most_wall_clock(self, sweep):
+        for _, _, config, metrics in sweep:
+            # CPU work can continue briefly past onload (decode tail), so
+            # compare against the simulation end, approximated loosely.
+            assert metrics.cpu_busy_time <= metrics.plt * 1.6 + 1.0, config
+
+    def test_waste_only_under_hinting_configs(self, sweep):
+        for _, _, config, metrics in sweep:
+            if config in ("http1", "http2", "polaris"):
+                assert metrics.wasted_bytes == 0.0, config

@@ -1,0 +1,33 @@
+"""The calibration regression guard as a test."""
+
+from repro.experiments.regression import (
+    EXPECTATIONS,
+    Expectation,
+    check_calibration,
+    measure_medians,
+)
+
+
+class TestExpectation:
+    def test_within_band(self):
+        exp = Expectation("x", 10.0, 0.1)
+        assert exp.check(10.5) == ""
+        assert exp.check(9.5) == ""
+
+    def test_outside_band(self):
+        exp = Expectation("x", 10.0, 0.1)
+        assert "outside" in exp.check(12.0)
+        assert "outside" in exp.check(8.0)
+
+
+class TestGuard:
+    def test_calibration_healthy(self):
+        """The headline medians stay pinned.  If this fails after an
+        intentional recalibration, update EXPECTATIONS and
+        EXPERIMENTS.md together."""
+        failures = check_calibration(count=8)
+        assert not failures, "\n".join(failures)
+
+    def test_measure_covers_all_metrics(self):
+        measured = measure_medians(count=2)
+        assert set(measured) == {exp.metric for exp in EXPECTATIONS}

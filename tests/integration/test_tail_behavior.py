@@ -1,0 +1,81 @@
+"""Distribution-tail behaviour: where Vroom's gains run out.
+
+The paper (Sec 6.1) attributes Vroom's weak tail to pages whose content
+is intrinsically unpredictable — servers cannot hint what changes every
+load.  These tests build the two extremes directly and confirm the
+mechanism: Vroom's improvement shrinks as a page's flux grows.
+"""
+
+import statistics
+
+from repro.baselines.configs import run_config
+from repro.calibration import NEWS_SPORTS_PROFILE
+from repro.pages.dynamics import LoadStamp
+from repro.pages.generator import PageGenerator
+from repro.replay.recorder import record_snapshot
+
+STAMP = LoadStamp(when_hours=600.0)
+
+
+def improvement(page):
+    snapshot = page.materialize(STAMP)
+    store = record_snapshot(snapshot)
+    http2 = run_config("http2", page, snapshot, store).plt
+    vroom = run_config("vroom", page, snapshot, store).plt
+    return (http2 - vroom) / http2
+
+
+def pages_with_bias(bias, count=3, seed=4242):
+    generator = PageGenerator(NEWS_SPORTS_PROFILE, seed=seed)
+    return [
+        generator.generate(f"tail{bias}_{i}", dynamic_bias=bias)
+        for i in range(count)
+    ]
+
+
+class TestFluxTail:
+    def test_gain_shrinks_with_flux(self):
+        calm = statistics.median(
+            improvement(page) for page in pages_with_bias(0.3)
+        )
+        wild = statistics.median(
+            improvement(page) for page in pages_with_bias(3.0)
+        )
+        assert wild < calm + 0.02
+
+    def test_vroom_never_catastrophic_on_wild_pages(self):
+        """Even at extreme flux, Vroom stays close to the baseline —
+        unnecessary hints cost bandwidth, not correctness."""
+        for page in pages_with_bias(3.5, count=3, seed=777):
+            gain = improvement(page)
+            assert gain > -0.15
+
+    def test_flux_shrinks_hintable_ground_truth(self):
+        """At high flux Vroom's hints stop covering the load: the
+        predictable subset shrinks (more left to the client) and stale
+        offline entries inflate the false positives."""
+        from repro.analysis.accuracy import (
+            predictable_share,
+            score_strategy,
+        )
+        from repro.core.resolver import ResolutionStrategy
+
+        calm_share = statistics.median(
+            predictable_share(page, STAMP)[0]
+            for page in pages_with_bias(0.3)
+        )
+        wild_share = statistics.median(
+            predictable_share(page, STAMP)[0]
+            for page in pages_with_bias(3.0)
+        )
+        assert wild_share < calm_share
+
+        calm_fp = statistics.median(
+            score_strategy(page, STAMP, ResolutionStrategy.VROOM).fp_rate
+            for page in pages_with_bias(0.3)
+        )
+        wild_fp = statistics.median(
+            score_strategy(page, STAMP, ResolutionStrategy.VROOM).fp_rate
+            for page in pages_with_bias(3.0)
+        )
+        assert wild_fp > calm_fp

@@ -1,0 +1,106 @@
+"""Edge cases in the HTTP transport layer."""
+
+import pytest
+
+from repro.net.http import HttpClient, HttpVersion, NetworkConfig
+from repro.net.origin import OriginServer, Response
+from repro.net.simulator import Simulator
+
+
+def make_stack(contents, pushes=None, **config_kw):
+    sim = Simulator()
+    pushes = pushes or {}
+
+    def respond(url, is_push):
+        if url not in contents:
+            return None
+        return Response(
+            url=url,
+            size=contents[url],
+            think_time=0.01,
+            pushes=pushes.get(url, []),
+        )
+
+    servers = {"a.com": OriginServer("a.com", respond, server_rtt=0.03)}
+    return sim, HttpClient(sim, servers, NetworkConfig(**config_kw))
+
+
+class TestWatchBeforeStream:
+    def test_pending_watch_transfers_to_stream(self):
+        sim, client = make_stack({"a.com/big.bin": 500_000})
+        hits = []
+        fetch = client.fetch("a.com/big.bin")
+        # Register the watch before the response stream exists.
+        fetch.watch_body_offset(100_000, lambda: hits.append(sim.now))
+        sim.run()
+        assert len(hits) == 1
+        assert hits[0] < fetch.completed_at
+
+    def test_watch_beyond_body_clamps_to_end(self):
+        sim, client = make_stack({"a.com/small.bin": 1_000})
+        hits = []
+        fetch = client.fetch("a.com/small.bin")
+        fetch.watch_body_offset(10_000_000, lambda: hits.append(sim.now))
+        sim.run()
+        assert len(hits) == 1
+
+
+class TestPushEdgeCases:
+    def test_push_for_already_requested_url_skipped(self):
+        """A client request in flight suppresses the duplicate push."""
+        contents = {"a.com/page.html": 20_000, "a.com/x.js": 5_000}
+        sim, client = make_stack(
+            contents, pushes={"a.com/page.html": ["a.com/x.js"]}
+        )
+        client.fetch("a.com/x.js")       # requested first
+        client.fetch("a.com/page.html")  # would push x.js
+        sim.run()
+        server = client.servers["a.com"]
+        assert server.pushes_sent == 0
+        assert server.requests_served == 2
+
+    def test_push_attach_callbacks(self):
+        """Attaching on_complete to a pushed URL works like any fetch."""
+        contents = {"a.com/page.html": 20_000, "a.com/x.js": 5_000}
+        sim, client = make_stack(
+            contents, pushes={"a.com/page.html": ["a.com/x.js"]}
+        )
+        done = []
+        client.fetch("a.com/page.html")
+
+        def attach_later():
+            client.fetch(
+                "a.com/x.js", on_complete=lambda f: done.append(f.url)
+            )
+
+        # Attach well after the push stream has started (~0.5 s in).
+        sim.schedule(0.8, attach_later)
+        sim.run()
+        assert done == ["a.com/x.js"]
+        # Still only one exchange for x.js (the push).
+        assert client.servers["a.com"].requests_served == 1
+        assert client.servers["a.com"].pushes_sent == 1
+
+
+class TestHeadersAfterCompletion:
+    def test_late_on_headers_fires(self):
+        sim, client = make_stack({"a.com/x.js": 1_000})
+        client.fetch("a.com/x.js")
+        sim.run()
+        seen = []
+        client.fetch("a.com/x.js", on_headers=lambda f: seen.append(f.url))
+        sim.run()
+        assert seen == ["a.com/x.js"]
+
+
+class TestHttp1Recycling:
+    def test_connections_reused_across_requests(self):
+        contents = {f"a.com/r{i}.js": 2_000 for i in range(20)}
+        sim, client = make_stack(contents, version=HttpVersion.HTTP1)
+        done = []
+        for url in contents:
+            client.fetch(url, on_complete=lambda f: done.append(f.url))
+        sim.run()
+        assert len(done) == 20
+        # Six connections served twenty requests.
+        assert len(client._domains["a.com"].connections) <= 6

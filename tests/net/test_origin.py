@@ -1,0 +1,49 @@
+"""Unit tests for the origin server model."""
+
+import pytest
+
+from repro.calibration import SERVER_HTML_THINK_TIME, SERVER_THINK_TIME
+from repro.net.origin import OriginServer, Response, static_responder
+
+
+class TestResponse:
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Response(url="a.com/x", size=-1)
+
+    def test_defaults(self):
+        response = Response(url="a.com/x", size=10)
+        assert response.hints == []
+        assert response.pushes == []
+        assert response.cacheable
+
+
+class TestOriginServer:
+    def test_counters(self):
+        server = OriginServer(
+            "a.com", static_responder({"a.com/x.js": 100}), 0.02
+        )
+        server.respond("a.com/x.js")
+        server.respond("a.com/x.js", is_push=True)
+        assert server.requests_served == 1
+        assert server.pushes_sent == 1
+
+    def test_missing_content_is_none_and_uncounted(self):
+        server = OriginServer("a.com", static_responder({}), 0.02)
+        assert server.respond("a.com/missing") is None
+        assert server.requests_served == 0
+
+
+class TestStaticResponder:
+    def test_sizes_served(self):
+        responder = static_responder({"a.com/x.js": 123})
+        response = responder("a.com/x.js", False)
+        assert response.size == 123
+
+    def test_html_gets_generation_think_time(self):
+        responder = static_responder(
+            {"a.com/p.html": 10, "a.com/x.js": 10},
+            html_urls={"a.com/p.html"},
+        )
+        assert responder("a.com/p.html", False).think_time == SERVER_HTML_THINK_TIME
+        assert responder("a.com/x.js", False).think_time == SERVER_THINK_TIME

@@ -1,0 +1,42 @@
+"""Tests for the network profile catalogue."""
+
+import pytest
+
+from repro.net.http import HttpVersion
+from repro.net.profiles import PROFILES, profile
+
+
+class TestProfiles:
+    def test_known_profiles_present(self):
+        for name in ("lte", "loaded-lte", "3g", "2g", "wifi"):
+            assert name in PROFILES
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown network profile"):
+            profile("5g-advanced")
+
+    def test_config_carries_characteristics(self):
+        cfg = profile("3g").config()
+        assert cfg.downlink_bps == PROFILES["3g"].downlink_bps
+        assert cfg.base_rtt == PROFILES["3g"].rtt
+        assert cfg.version is HttpVersion.HTTP2
+
+    def test_ordering_sane(self):
+        assert PROFILES["wifi"].downlink_bps > PROFILES["lte"].downlink_bps
+        assert PROFILES["2g"].rtt > PROFILES["3g"].rtt > PROFILES["lte"].rtt
+        assert PROFILES["loaded-lte"].downlink_bps < PROFILES["lte"].downlink_bps
+
+    def test_loads_run_on_every_profile(self, page, snapshot, store):
+        from repro.browser.engine import BrowserConfig, load_page
+        from repro.replay.replayer import build_servers
+
+        plts = {}
+        for name in ("lte", "wifi"):
+            metrics = load_page(
+                snapshot,
+                build_servers(store),
+                profile(name).config(),
+                BrowserConfig(when_hours=snapshot.stamp.when_hours),
+            )
+            plts[name] = metrics.plt
+        assert plts["wifi"] < plts["lte"]

@@ -1,0 +1,133 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.net.simulator import Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append(1))
+        sim.schedule(1.0, lambda: order.append(2))
+        sim.schedule(1.0, lambda: order.append(3))
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        assert sim.run() == 5.0
+        assert seen == [5.0]
+
+    def test_schedule_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: sim.schedule_at(4.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [4.0]
+
+    def test_schedule_at_in_past_clamps_to_now(self):
+        sim = Simulator()
+        seen = []
+
+        def later():
+            sim.schedule_at(0.5, lambda: seen.append(sim.now))
+
+        sim.schedule(2.0, later)
+        sim.run()
+        assert seen == [2.0]
+
+    def test_call_soon_runs_after_pending_same_time(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: (order.append("first"), sim.call_soon(lambda: order.append("soon")))[0])
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second", "soon"]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(1.0, lambda: seen.append("no"))
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_pending_counts_live_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        dead = sim.schedule(2.0, lambda: None)
+        dead.cancel()
+        assert sim.pending() == 1
+
+
+class TestRunControls:
+    def test_until_pauses_clock(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(10.0, lambda: seen.append(2))
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_executed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.executed == 5

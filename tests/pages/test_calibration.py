@@ -1,0 +1,90 @@
+"""Corpus-level calibration checks against the paper's measurements.
+
+These tests pin the statistics the paper reports about its page sets:
+back-to-back URL flux (Sec 4.1), persistence over time (Fig 7), the
+predictable-subset share (Fig 21a) and the byte mix.
+"""
+
+import statistics
+
+from repro.analysis.accuracy import predictable_share
+from repro.analysis.persistence import persistence_fraction
+from repro.calibration import DEFAULT_EVAL_HOUR
+from repro.pages.corpus import alexa_top100_corpus, news_sports_corpus
+from repro.pages.dynamics import LoadStamp
+
+STAMP = LoadStamp(when_hours=DEFAULT_EVAL_HOUR)
+
+
+def b2b_flux(page):
+    now = set(page.materialize(STAMP).urls())
+    b2b = set(page.materialize(STAMP.back_to_back()).urls())
+    return 1.0 - len(now & b2b) / len(now)
+
+
+def test_back_to_back_flux_near_paper():
+    """Sec 4.1: ~22% of the median page's URLs change across b2b loads."""
+    fluxes = [b2b_flux(page) for page in alexa_top100_corpus(count=12)]
+    med = statistics.median(fluxes)
+    assert 0.08 <= med <= 0.35
+
+
+def test_persistence_decreases_with_horizon():
+    """Fig 7: longer horizons keep fewer resources."""
+    pages = alexa_top100_corpus(count=10)
+    hour = statistics.median(
+        persistence_fraction(p, STAMP, 1.0) for p in pages
+    )
+    day = statistics.median(
+        persistence_fraction(p, STAMP, 24.0) for p in pages
+    )
+    week = statistics.median(
+        persistence_fraction(p, STAMP, 24.0 * 7) for p in pages
+    )
+    assert hour >= day >= week
+
+
+def test_persistence_levels_near_paper():
+    """Fig 7 medians: ~70% over one hour, ~50% over one week."""
+    pages = alexa_top100_corpus(count=12)
+    hour = statistics.median(
+        persistence_fraction(p, STAMP, 1.0) for p in pages
+    )
+    week = statistics.median(
+        persistence_fraction(p, STAMP, 24.0 * 7) for p in pages
+    )
+    assert 0.55 <= hour <= 0.95
+    assert 0.30 <= week <= 0.75
+
+
+def test_predictable_share_near_paper():
+    """Fig 21a: predictable subset >=~80% of count, >=~95% of bytes."""
+    pages = news_sports_corpus(count=10)
+    shares = [predictable_share(page, STAMP) for page in pages]
+    count_share = statistics.median(s[0] for s in shares)
+    byte_share = statistics.median(s[1] for s in shares)
+    assert count_share >= 0.65
+    assert byte_share >= 0.80
+    assert byte_share >= count_share  # nonce resources are small
+
+
+def test_news_sports_heavier_than_alexa():
+    """Fig 1's premise: News/Sports pages are more complex."""
+    news = news_sports_corpus(count=8)
+    alexa = alexa_top100_corpus(count=8)
+    news_bytes = statistics.median(
+        page.materialize(STAMP).total_bytes() for page in news
+    )
+    alexa_bytes = statistics.median(
+        page.materialize(STAMP).total_bytes() for page in alexa
+    )
+    assert news_bytes > alexa_bytes
+
+
+def test_processable_byte_share():
+    """HTTP Archive calibration: ~a quarter of bytes need processing."""
+    shares = []
+    for page in news_sports_corpus(count=8):
+        snap = page.materialize(STAMP)
+        shares.append(snap.processable_bytes() / snap.total_bytes())
+    assert 0.15 <= statistics.median(shares) <= 0.40

@@ -1,0 +1,49 @@
+"""Tests for the named corpora."""
+
+from repro.pages.corpus import (
+    accuracy_corpus,
+    alexa_top100_corpus,
+    alexa_top400_sample_corpus,
+    news_sports_corpus,
+)
+
+
+def test_sizes():
+    assert len(news_sports_corpus(count=10)) == 10
+    assert len(alexa_top100_corpus(count=7)) == 7
+    assert len(alexa_top400_sample_corpus(count=5)) == 5
+    assert len(accuracy_corpus(count=9)) == 9
+
+
+def test_deterministic():
+    a = news_sports_corpus(count=4)
+    b = news_sports_corpus(count=4)
+    assert [p.name for p in a] == [p.name for p in b]
+    assert [len(p.specs) for p in a] == [len(p.specs) for p in b]
+
+
+def test_news_and_sports_halves():
+    corpus = news_sports_corpus(count=8)
+    names = [page.name for page in corpus]
+    assert sum(1 for n in names if n.startswith("news")) == 4
+    assert sum(1 for n in names if n.startswith("sports")) == 4
+
+
+def test_unique_page_names():
+    corpus = news_sports_corpus(count=12) + alexa_top100_corpus(count=12)
+    names = [page.name for page in corpus]
+    assert len(names) == len(set(names))
+
+
+def test_accuracy_corpus_mixes_page_types():
+    corpus = accuracy_corpus(count=10)
+    names = [page.name for page in corpus]
+    assert any(name.startswith("land") for name in names)
+    assert any(name.startswith("artcl") for name in names)
+
+
+def test_all_pages_validate():
+    for page in news_sports_corpus(count=6):
+        page.validate()
+    for page in alexa_top100_corpus(count=6):
+        page.validate()

@@ -1,0 +1,129 @@
+"""Tests for the statistical page generator."""
+
+from repro.calibration import ALEXA_TOP100_PROFILE, NEWS_SPORTS_PROFILE
+from repro.pages.dynamics import LoadStamp
+from repro.pages.generator import PageGenerator, generate_page
+from repro.pages.resources import Discovery, ResourceType
+
+STAMP = LoadStamp(when_hours=500.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_page(self):
+        a = generate_page(NEWS_SPORTS_PROFILE, "p", seed=7)
+        b = generate_page(NEWS_SPORTS_PROFILE, "p", seed=7)
+        assert set(a.specs) == set(b.specs)
+        for name in a.specs:
+            assert a.specs[name].size == b.specs[name].size
+            assert a.specs[name].domain == b.specs[name].domain
+
+    def test_different_seed_different_page(self):
+        a = generate_page(NEWS_SPORTS_PROFILE, "p", seed=1)
+        b = generate_page(NEWS_SPORTS_PROFILE, "p", seed=2)
+        assert set(a.specs) != set(b.specs) or any(
+            a.specs[n].size != b.specs[n].size for n in a.specs
+        )
+
+
+class TestStructure:
+    def test_pages_validate(self):
+        for seed in range(5):
+            generate_page(NEWS_SPORTS_PROFILE, f"v{seed}", seed=seed).validate()
+
+    def test_single_root(self):
+        page = generate_page(NEWS_SPORTS_PROFILE, "p", seed=3)
+        roots = [s for s in page.specs.values() if s.parent is None]
+        assert len(roots) == 1
+        assert roots[0].rtype is ResourceType.HTML
+
+    def test_first_party_hosts_root(self):
+        page = generate_page(NEWS_SPORTS_PROFILE, "mysite", seed=3)
+        assert page.root_spec.domain == "mysite.com"
+
+    def test_script_computed_children_under_js(self):
+        page = generate_page(NEWS_SPORTS_PROFILE, "p", seed=4)
+        for spec in page.specs.values():
+            if spec.discovery is Discovery.SCRIPT_COMPUTED:
+                assert page.specs[spec.parent].rtype is ResourceType.JS
+
+    def test_css_refs_under_css(self):
+        page = generate_page(NEWS_SPORTS_PROFILE, "p", seed=4)
+        for spec in page.specs.values():
+            if spec.discovery is Discovery.CSS_REF:
+                assert page.specs[spec.parent].rtype is ResourceType.CSS
+
+    def test_iframes_are_personalized_third_party_html(self):
+        page = generate_page(NEWS_SPORTS_PROFILE, "p", seed=5)
+        frames = [
+            s
+            for s in page.specs.values()
+            if s.rtype is ResourceType.HTML and s.parent is not None
+        ]
+        for frame in frames:
+            assert frame.personalized
+
+
+class TestStatistics:
+    def test_processable_byte_share_near_profile(self):
+        shares = []
+        for seed in range(6):
+            page = generate_page(NEWS_SPORTS_PROFILE, f"s{seed}", seed=seed)
+            snap = page.materialize(STAMP)
+            shares.append(snap.processable_bytes() / snap.total_bytes())
+        mean_share = sum(shares) / len(shares)
+        target = NEWS_SPORTS_PROFILE.processable_byte_share
+        assert abs(mean_share - target) < 0.10
+
+    def test_resource_count_scales_with_profile(self):
+        heavy = generate_page(NEWS_SPORTS_PROFILE, "h", seed=11)
+        light = generate_page(ALEXA_TOP100_PROFILE, "l", seed=11)
+        assert len(heavy.specs) > len(light.specs)
+
+    def test_multiple_domains(self):
+        page = generate_page(NEWS_SPORTS_PROFILE, "p", seed=12)
+        snap = page.materialize(STAMP)
+        assert len(snap.domains()) >= 5
+
+    def test_nonce_media_is_small(self):
+        """Unpredictable non-script resources are beacons, not banners."""
+        for seed in range(6):
+            page = generate_page(NEWS_SPORTS_PROFILE, f"n{seed}", seed=seed)
+            for spec in page.specs.values():
+                if spec.unpredictable and spec.rtype in (
+                    ResourceType.IMAGE,
+                    ResourceType.JSON,
+                    ResourceType.OTHER,
+                ):
+                    assert spec.size <= 4000
+
+    def test_dynamic_bias_increases_flux(self):
+        generator = PageGenerator(NEWS_SPORTS_PROFILE, seed=21)
+        calm = generator.generate("calm", dynamic_bias=0.5)
+        generator = PageGenerator(NEWS_SPORTS_PROFILE, seed=21)
+        wild = generator.generate("wild", dynamic_bias=3.0)
+
+        def unpredictable_count(page):
+            return sum(
+                1 for spec in page.specs.values() if spec.unpredictable
+            )
+
+        assert unpredictable_count(wild) > unpredictable_count(calm)
+
+    def test_third_party_scripts_have_think_time(self):
+        page = generate_page(NEWS_SPORTS_PROFILE, "p", seed=30)
+        third_party_js = [
+            s
+            for s in page.specs.values()
+            if s.rtype is ResourceType.JS and s.domain != "p.com"
+        ]
+        assert third_party_js
+        assert all(s.server_think_time is not None for s in third_party_js)
+
+    def test_first_party_media_has_default_think(self):
+        page = generate_page(NEWS_SPORTS_PROFILE, "p", seed=30)
+        first_party_media = [
+            s
+            for s in page.specs.values()
+            if s.rtype is ResourceType.IMAGE and s.domain == "p.com"
+        ]
+        assert all(s.server_think_time is None for s in first_party_media)

@@ -1,0 +1,84 @@
+"""Tests for blueprint JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.pages.serialization import (
+    blueprint_from_dict,
+    blueprint_to_dict,
+    dump_blueprint,
+    dump_corpus,
+    load_blueprint,
+    load_corpus,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.pages.corpus import news_sports_corpus
+
+
+class TestRoundTrip:
+    def test_blueprint_round_trips(self, page, stamp):
+        restored = blueprint_from_dict(blueprint_to_dict(page))
+        assert set(restored.specs) == set(page.specs)
+        # Behavioural equality: identical snapshots.
+        original = page.materialize(stamp)
+        rebuilt = restored.materialize(stamp)
+        assert original.urls() == rebuilt.urls()
+        assert original.total_bytes() == rebuilt.total_bytes()
+
+    def test_spec_round_trip_preserves_flags(self, page):
+        for spec in list(page.specs.values())[:20]:
+            restored = spec_from_dict(spec_to_dict(spec))
+            assert restored == spec
+
+    def test_file_round_trip(self, page, tmp_path):
+        path = str(tmp_path / "page.json")
+        dump_blueprint(page, path)
+        restored = load_blueprint(path)
+        assert restored.name == page.name
+        assert len(restored.specs) == len(page.specs)
+
+    def test_corpus_round_trip(self, tmp_path):
+        pages = news_sports_corpus(count=3)
+        path = str(tmp_path / "corpus.json")
+        dump_corpus(pages, path)
+        restored = load_corpus(path)
+        assert [p.name for p in restored] == [p.name for p in pages]
+
+
+class TestValidationOnLoad:
+    def test_version_checked(self, page):
+        data = blueprint_to_dict(page)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            blueprint_from_dict(data)
+
+    def test_unknown_fields_rejected(self, page):
+        data = blueprint_to_dict(page)
+        data["specs"][0]["evil_field"] = True
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            blueprint_from_dict(data)
+
+    def test_bad_type_rejected(self, page):
+        data = blueprint_to_dict(page)
+        data["specs"][0]["rtype"] = "quantum"
+        with pytest.raises(ValueError, match="malformed"):
+            blueprint_from_dict(data)
+
+    def test_orphan_parent_rejected(self, page):
+        data = blueprint_to_dict(page)
+        data["specs"][5]["parent"] = "never_existed"
+        with pytest.raises(ValueError, match="unresolvable parents"):
+            blueprint_from_dict(data)
+
+    def test_out_of_order_specs_handled(self, page):
+        """Children listed before parents still load (topological pass)."""
+        data = blueprint_to_dict(page)
+        data["specs"].reverse()
+        restored = blueprint_from_dict(data)
+        assert set(restored.specs) == set(page.specs)
+
+    def test_json_is_plain(self, page):
+        text = json.dumps(blueprint_to_dict(page))
+        assert isinstance(json.loads(text), dict)

@@ -1,0 +1,57 @@
+"""Tests for the shopping corpus (high-churn pages, Sec 4.1's example)."""
+
+import statistics
+
+from repro.analysis.persistence import persistence_fraction
+from repro.core.resolver import ResolutionStrategy
+from repro.analysis.accuracy import score_strategy
+from repro.pages.corpus import alexa_top100_corpus, shopping_corpus
+
+
+class TestShoppingCorpus:
+    def test_builds_and_validates(self):
+        pages = shopping_corpus(count=4)
+        assert len(pages) == 4
+        for page in pages:
+            page.validate()
+
+    def test_churns_faster_than_alexa(self, stamp):
+        shop = statistics.median(
+            persistence_fraction(page, stamp, 24.0)
+            for page in shopping_corpus(count=6)
+        )
+        alexa = statistics.median(
+            persistence_fraction(page, stamp, 24.0)
+            for page in alexa_top100_corpus(count=6)
+        )
+        assert shop < alexa
+
+    def test_offline_only_suffers_most_here(self, stamp):
+        """The paper's motivating case for online analysis: product
+        rotations make hour-old offline data stale."""
+        pages = shopping_corpus(count=5)
+        offline_fn = statistics.median(
+            score_strategy(
+                page, stamp, ResolutionStrategy.OFFLINE_ONLY
+            ).fn_rate
+            for page in pages
+        )
+        vroom_fn = statistics.median(
+            score_strategy(page, stamp, ResolutionStrategy.VROOM).fn_rate
+            for page in pages
+        )
+        assert offline_fn > vroom_fn
+        assert offline_fn > 0.10  # hour-scale rotations really bite
+
+    def test_vroom_still_wins_on_shopping_pages(self, stamp):
+        from repro.baselines.configs import run_config
+        from repro.replay.recorder import record_snapshot
+
+        gains = []
+        for page in shopping_corpus(count=3):
+            snapshot = page.materialize(stamp)
+            store = record_snapshot(snapshot)
+            http2 = run_config("http2", page, snapshot, store).plt
+            vroom = run_config("vroom", page, snapshot, store).plt
+            gains.append(http2 - vroom)
+        assert statistics.median(gains) > 0

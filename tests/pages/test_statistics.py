@@ -1,0 +1,46 @@
+"""Tests for corpus statistics reporting."""
+
+from repro.calibration import NEWS_SPORTS_PROFILE
+from repro.pages.corpus import alexa_top100_corpus, news_sports_corpus
+from repro.pages.statistics import corpus_statistics
+
+
+class TestCorpusStatistics:
+    def test_fields_computed(self, stamp):
+        stats = corpus_statistics(news_sports_corpus(count=5), stamp)
+        assert stats.pages == 5
+        assert stats.resource_count_median > 50
+        assert 0.1 < stats.processable_byte_share_median < 0.5
+        assert stats.domain_count_median > 3
+        assert stats.max_chain_depth_median >= 3
+
+    def test_type_mix_sums_to_one(self, stamp):
+        stats = corpus_statistics(news_sports_corpus(count=4), stamp)
+        assert abs(sum(stats.type_mix.values()) - 1.0) < 1e-9
+        assert abs(sum(stats.discovery_mix.values()) - 1.0) < 1e-9
+
+    def test_images_dominate_media(self, stamp):
+        stats = corpus_statistics(news_sports_corpus(count=4), stamp)
+        assert stats.type_mix["image"] > stats.type_mix["font"]
+        assert stats.type_mix["image"] > stats.type_mix["video"]
+
+    def test_news_heavier_than_alexa(self, stamp):
+        news = corpus_statistics(news_sports_corpus(count=5), stamp)
+        alexa = corpus_statistics(alexa_top100_corpus(count=5), stamp)
+        assert news.total_bytes_median > alexa.total_bytes_median
+        assert news.resource_count_median > alexa.resource_count_median
+
+    def test_async_share_bounded_by_profile(self, stamp):
+        """async_script_frac applies to parser-inserted scripts only
+        (chained scripts are implicitly async); the overall share is
+        therefore below the profile's per-static-script fraction."""
+        stats = corpus_statistics(news_sports_corpus(count=6), stamp)
+        assert 0.0 <= stats.async_script_share <= (
+            NEWS_SPORTS_PROFILE.async_script_frac
+        )
+
+    def test_summary_renders(self, stamp):
+        stats = corpus_statistics(news_sports_corpus(count=3), stamp)
+        text = stats.summary()
+        assert "resources/page" in text
+        assert "type mix" in text

@@ -1,0 +1,241 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import Cdf, percentile
+from repro.net.link import AccessLink, StreamScheduling
+from repro.net.simulator import Simulator
+from repro.pages.dynamics import LoadStamp, resolve_url
+from repro.pages.resources import ResourceSpec, ResourceType
+
+# ---------------------------------------------------------------------------
+# Simulator
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e4), max_size=40))
+def test_simulator_executes_in_nondecreasing_time(delays):
+    sim = Simulator()
+    times = []
+    for delay in delays:
+        sim.schedule(delay, lambda: times.append(sim.now))
+    sim.run()
+    assert times == sorted(times)
+    assert len(times) == len(delays)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.001, max_value=100.0), min_size=1, max_size=20
+    )
+)
+def test_simulator_clock_ends_at_last_event(delays):
+    sim = Simulator()
+    for delay in delays:
+        sim.schedule(delay, lambda: None)
+    assert sim.run() == max(delays)
+
+
+# ---------------------------------------------------------------------------
+# Fluid link: byte conservation and work conservation
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.integers(min_value=1, max_value=2_000_000),
+        min_size=1,
+        max_size=12,
+    ),
+    st.sampled_from(list(StreamScheduling)),
+)
+@settings(max_examples=40, deadline=None)
+def test_link_conserves_bytes(sizes, scheduling):
+    sim = Simulator()
+    link = AccessLink(sim, 8.0e6)
+    channel = link.open_channel(scheduling)
+    done = []
+    for size in sizes:
+        channel.start_stream(size, lambda s=size: done.append(s))
+    sim.run()
+    assert sorted(done) == sorted(sizes)
+    assert abs(link.bytes_delivered - sum(sizes)) < 1.0
+
+
+@given(
+    st.lists(
+        st.integers(min_value=10_000, max_value=1_000_000),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_link_is_work_conserving(sizes):
+    """Total completion time never beats nor wildly exceeds capacity."""
+    sim = Simulator()
+    link = AccessLink(sim, 8.0e6)  # 1 MB/s
+    channel = link.open_channel(StreamScheduling.FAIR)
+    for size in sizes:
+        channel.start_stream(size, lambda: None)
+    finish = sim.run()
+    ideal = sum(sizes) / 1.0e6
+    assert finish >= ideal * 0.999
+    assert finish <= ideal * 1.01 + 0.001
+
+
+@given(
+    st.integers(min_value=1, max_value=1_000_000),
+    st.lists(
+        st.integers(min_value=1, max_value=1_000_000),
+        min_size=1,
+        max_size=6,
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_watch_offsets_fire_before_completion(size, offsets):
+    sim = Simulator()
+    link = AccessLink(sim, 8.0e6)
+    channel = link.open_channel()
+    events = []
+    stream = channel.start_stream(size, lambda: events.append(("done", sim.now)))
+    for offset in offsets:
+        stream.watch_offset(
+            min(offset, size), lambda o=offset: events.append(("watch", sim.now))
+        )
+    sim.run()
+    done_time = next(t for kind, t in events if kind == "done")
+    assert all(t <= done_time + 1e-9 for _, t in events)
+    assert sum(1 for kind, _ in events if kind == "watch") == len(offsets)
+
+
+# ---------------------------------------------------------------------------
+# URL dynamics: determinism and flux scoping
+# ---------------------------------------------------------------------------
+
+_spec_strategy = st.builds(
+    ResourceSpec,
+    name=st.text(
+        alphabet=st.characters(whitelist_categories=("Ll",)),
+        min_size=1,
+        max_size=8,
+    ),
+    rtype=st.sampled_from(list(ResourceType)),
+    domain=st.just("prop.com"),
+    size=st.integers(min_value=1, max_value=10_000),
+    lifetime_hours=st.one_of(
+        st.none(), st.floats(min_value=0.5, max_value=100.0)
+    ),
+    unpredictable=st.booleans(),
+    device_dependent=st.booleans(),
+    personalized=st.booleans(),
+)
+
+_stamp_strategy = st.builds(
+    LoadStamp,
+    when_hours=st.floats(min_value=0.0, max_value=10_000.0),
+    device=st.sampled_from(["nexus6", "oneplus3", "nexus10"]),
+    user=st.sampled_from(["u0", "u1"]),
+    nonce=st.integers(min_value=0, max_value=1_000_000),
+)
+
+
+@given(_spec_strategy, _stamp_strategy)
+def test_resolve_url_deterministic(spec, stamp):
+    assert resolve_url(spec, stamp) == resolve_url(spec, stamp)
+
+
+@given(_spec_strategy, _stamp_strategy)
+def test_resolve_url_well_formed(spec, stamp):
+    url = resolve_url(spec, stamp)
+    assert url.startswith("prop.com/")
+    assert "." in url.rsplit("/", 1)[1]
+
+
+@given(_spec_strategy, _stamp_strategy)
+def test_stable_specs_ignore_nonce_and_user(spec, stamp):
+    if spec.unpredictable or spec.personalized:
+        return
+    other = LoadStamp(
+        when_hours=stamp.when_hours,
+        device=stamp.device,
+        user=stamp.user + "x",
+        nonce=stamp.nonce + 17,
+    )
+    if not spec.personalized:
+        assert resolve_url(spec, stamp) == resolve_url(spec, other)
+
+
+@given(_spec_strategy, _stamp_strategy)
+def test_same_epoch_same_url(spec, stamp):
+    if spec.lifetime_hours is None or spec.unpredictable:
+        return
+    nudge = LoadStamp(
+        when_hours=stamp.when_hours
+        + min(spec.lifetime_hours / 10.0, 0.01),
+        device=stamp.device,
+        user=stamp.user,
+        nonce=stamp.nonce,
+    )
+    if int(stamp.when_hours // spec.lifetime_hours) == int(
+        nudge.when_hours // spec.lifetime_hours
+    ):
+        assert resolve_url(spec, stamp) == resolve_url(spec, nudge)
+
+
+# ---------------------------------------------------------------------------
+# Statistics
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200
+    ),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_percentile_within_range(values, fraction):
+    result = percentile(values, fraction)
+    assert min(values) <= result <= max(values)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200
+    )
+)
+def test_percentile_monotone_in_fraction(values):
+    results = [percentile(values, f / 10.0) for f in range(11)]
+    for earlier, later in zip(results, results[1:]):
+        assert later >= earlier - 1e-9 * max(1.0, abs(earlier))
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=100
+    )
+)
+def test_cdf_at_is_monotone(values):
+    cdf = Cdf(values)
+    probes = sorted(set(values))
+    fractions = [cdf.at(x) for x in probes]
+    assert fractions == sorted(fractions)
+    assert cdf.at(max(values)) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Generator: every generated page obeys structural invariants
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_generated_pages_always_validate(seed):
+    from repro.calibration import NEWS_SPORTS_PROFILE
+    from repro.pages.generator import generate_page
+
+    page = generate_page(NEWS_SPORTS_PROFILE, "prop", seed=seed)
+    page.validate()  # raises on violation
+    snapshot = page.materialize(LoadStamp(when_hours=123.0))
+    urls = snapshot.urls()
+    assert len(urls) == len(set(urls))
+    assert snapshot.root.process_order == 0

@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["load", "--configs", "warp"])
+
+
+class TestCommands:
+    def test_configs_lists_everything(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert "vroom" in out
+        assert "http2" in out
+        assert "polaris" in out
+
+    def test_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "lte" in out and "2g" in out
+
+    def test_load_prints_metrics(self, capsys):
+        assert main(["load", "--configs", "http2", "--index", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "PLT" in out
+        assert "http2" in out
+
+    def test_waterfall(self, capsys):
+        assert main(["waterfall", "--config", "http2", "--rows", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "waterfall of" in out
+        assert "plt" in out
+
+    def test_audit(self, capsys):
+        assert main(["audit", "--rows", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "hints on" in out
+        assert "predictable subset" in out
+        assert "FN" in out
+
+    def test_figure_runs_small(self, capsys):
+        assert main(["figure", "flux_calibration", "--count", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "flux" in out
+
+    def test_figure_unknown_name(self, capsys):
+        assert main(["figure", "fig99_nonexistent"]) == 2
+        out = capsys.readouterr().out
+        assert "unknown figure" in out
+
+    def test_load_other_corpus(self, capsys):
+        assert main(
+            ["load", "--corpus", "alexa100", "--configs", "http2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "alexa" in out
+
+    def test_device_option(self, capsys):
+        assert main(
+            ["load", "--configs", "cpu-bound", "--device", "oneplus3"]
+        ) == 0
+
+    def test_report(self, capsys):
+        assert main(["report", "--configs", "http2", "vroom"]) == 0
+        out = capsys.readouterr().out
+        assert "# Report:" in out
+        assert "critical path" in out
+        assert "pushed" in out
+
+    def test_load_from_blueprint_file(self, tmp_path, capsys, page):
+        from repro.pages.serialization import dump_blueprint
+
+        path = str(tmp_path / "custom.json")
+        dump_blueprint(page, path)
+        assert main(
+            ["load", "--blueprint", path, "--configs", "http2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert page.name in out
