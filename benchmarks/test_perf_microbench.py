@@ -5,14 +5,28 @@ shape), these measure the simulator itself over multiple rounds: event
 throughput of the DES core, and wall time of a single cold page load
 under the baseline and under Vroom.  They guard against performance
 regressions that would make the figure benches crawl.
+
+The sweep-engine benches at the bottom additionally write a
+machine-readable perf report to ``BENCH_sweep.json`` at the repo root
+(jobs/sec serial and parallel, measured speedup, snapshot-cache hit
+rate), so the trajectory is visible across PRs.
 """
+
+import json
+import os
+import time
+from pathlib import Path
 
 from repro.baselines.configs import run_config
 from repro.calibration import DEFAULT_EVAL_HOUR
+from repro.experiments.parallel import run_sweep
 from repro.net.simulator import Simulator
 from repro.pages.corpus import news_sports_corpus
 from repro.pages.dynamics import LoadStamp
+from repro.replay.cache import SnapshotCache
 from repro.replay.recorder import record_snapshot
+
+BENCH_REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
 
 
 def test_perf_simulator_event_throughput(benchmark):
@@ -59,3 +73,144 @@ def test_perf_vroom_page_load(benchmark):
 def test_perf_corpus_generation(benchmark):
     pages = benchmark(lambda: news_sports_corpus(count=10, seed=909))
     assert len(pages) == 10
+
+
+# ---------------------------------------------------------------------------
+# Sweep engine: snapshot cache and parallel fan-out
+# ---------------------------------------------------------------------------
+
+SWEEP_PAGES = 10
+SWEEP_CONFIGS = ["http2", "vroom", "push-all-fetch-asap"]
+SWEEP_WORKERS = 4
+
+
+def test_perf_snapshot_cache_cold_vs_hot(benchmark):
+    """A cache hit must be orders of magnitude cheaper than recording."""
+    pages = news_sports_corpus(count=SWEEP_PAGES, seed=909)
+    stamp = LoadStamp(when_hours=DEFAULT_EVAL_HOUR)
+    cache = SnapshotCache()
+
+    t0 = time.perf_counter()
+    for page in pages:
+        cache.materialized(page, stamp)
+    cold = time.perf_counter() - t0
+
+    def hot_pass():
+        for page in pages:
+            cache.materialized(page, stamp)
+
+    benchmark(hot_pass)
+    t0 = time.perf_counter()
+    hot_pass()
+    hot = time.perf_counter() - t0
+
+    assert cache.stats.misses == SWEEP_PAGES
+    assert cache.stats.hits >= SWEEP_PAGES
+    assert hot < cold, "cache hit should be cheaper than a cold recording"
+    _merge_report(
+        {
+            "snapshot_cache": {
+                "pages": SWEEP_PAGES,
+                "cold_record_sec": cold,
+                "hot_lookup_sec": hot,
+                "hit_speedup": cold / hot if hot > 0 else float("inf"),
+            }
+        }
+    )
+
+
+def test_perf_parallel_sweep_vs_serial(benchmark):
+    """10 pages x 3 configs: parallel engine vs the serial path.
+
+    Asserts bit-identical metrics between the two, records jobs/sec and
+    the measured speedup in BENCH_sweep.json.  The >= 2.5x wall-clock
+    assertion only applies where the hardware can provide it (4+ CPUs) —
+    on smaller machines the speedup is still recorded for the trajectory.
+    """
+    pages = news_sports_corpus(count=SWEEP_PAGES, seed=909)
+
+    serial_t0 = time.perf_counter()
+    serial_run, serial_perf = run_sweep(
+        pages, SWEEP_CONFIGS, workers=1, cache=SnapshotCache()
+    )
+    serial_elapsed = time.perf_counter() - serial_t0
+
+    parallel_t0 = time.perf_counter()
+    parallel_run, parallel_perf = benchmark.pedantic(
+        lambda: run_sweep(
+            pages,
+            SWEEP_CONFIGS,
+            workers=SWEEP_WORKERS,
+            cache=SnapshotCache(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_elapsed = time.perf_counter() - parallel_t0
+
+    # Determinism: the parallel grid must be bit-identical to serial.
+    assert parallel_run.values == serial_run.values
+
+    speedup = (
+        serial_elapsed / parallel_elapsed if parallel_elapsed > 0 else 0.0
+    )
+    cpus = os.cpu_count() or 1
+    if cpus >= SWEEP_WORKERS:
+        assert speedup >= 2.5, (
+            f"parallel sweep only {speedup:.2f}x faster than serial "
+            f"on {cpus} CPUs"
+        )
+    _merge_report(
+        {
+            "parallel_sweep": {
+                "pages": SWEEP_PAGES,
+                "configs": SWEEP_CONFIGS,
+                "jobs": serial_perf.jobs,
+                "cpu_count": cpus,
+                "workers": SWEEP_WORKERS,
+                "serial_elapsed_sec": serial_elapsed,
+                "parallel_elapsed_sec": parallel_elapsed,
+                "serial_jobs_per_sec": serial_perf.jobs_per_sec,
+                "parallel_jobs_per_sec": parallel_perf.jobs_per_sec,
+                "speedup_vs_serial": speedup,
+                "bit_identical_to_serial": True,
+            }
+        }
+    )
+
+
+def test_perf_cached_sweep_reuses_snapshots(benchmark):
+    """Back-to-back sweeps share snapshots: second sweep hits 100%."""
+    pages = news_sports_corpus(count=SWEEP_PAGES, seed=909)
+    cache = SnapshotCache()
+    run_sweep(pages, ["http2"], workers=1, cache=cache)
+
+    _, warm_perf = benchmark.pedantic(
+        lambda: run_sweep(pages, ["vroom"], workers=1, cache=cache),
+        rounds=1,
+        iterations=1,
+    )
+    assert warm_perf.cache_hit_rate == 1.0
+    _merge_report(
+        {
+            "cached_sweep": {
+                "pages": SWEEP_PAGES,
+                "cache_hit_rate": warm_perf.cache_hit_rate,
+                "jobs_per_sec": warm_perf.jobs_per_sec,
+            }
+        }
+    )
+
+
+def _merge_report(section: dict) -> None:
+    """Fold one bench's numbers into BENCH_sweep.json (append-friendly)."""
+    report = {}
+    if BENCH_REPORT_PATH.exists():
+        try:
+            report = json.loads(BENCH_REPORT_PATH.read_text())
+        except (ValueError, OSError):
+            report = {}
+    report.update(section)
+    BENCH_REPORT_PATH.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )

@@ -12,8 +12,9 @@ Run:  python examples/network_conditions_study.py
 
 import statistics
 
-from repro import LoadStamp, news_sports_corpus, record_snapshot, run_config
+from repro import LoadStamp, news_sports_corpus, run_config
 from repro.browser.engine import BrowserConfig, load_page
+from repro.replay.cache import materialize_cached
 from repro.core.scheduler import VroomScheduler
 from repro.core.server import vroom_servers
 from repro.net.link import StreamScheduling
@@ -30,8 +31,9 @@ def main() -> None:
     for name, profile in PROFILES.items():
         h2_plts, vroom_plts = [], []
         for page in pages:
-            snapshot = page.materialize(stamp)
-            store = record_snapshot(snapshot)
+            # One snapshot per page, shared across all five profiles
+            # through the session-wide snapshot cache.
+            snapshot, store = materialize_cached(page, stamp)
             browser = BrowserConfig(when_hours=stamp.when_hours)
             h2 = load_page(
                 snapshot, build_servers(store), profile.config(), browser
@@ -61,8 +63,7 @@ def main() -> None:
     print("\n== Vroom+Polaris hybrid (paper future work), LTE ==")
     rows = {"vroom": [], "polaris": [], "hybrid": []}
     for page in pages:
-        snapshot = page.materialize(stamp)
-        store = record_snapshot(snapshot)
+        snapshot, store = materialize_cached(page, stamp)
         for config in rows:
             rows[config].append(
                 run_config(config, page, snapshot, store).plt

@@ -10,28 +10,38 @@ Sec 6.1 partial-adoption experiment answers:
 3. What does the server pay? (online HTML parse latency, hint bytes,
    extra offline loads)
 
-Run:  python examples/provider_adoption_study.py
+Run:  python examples/provider_adoption_study.py [--workers N]
 """
 
+import argparse
 import statistics
 
-from repro import LoadStamp, news_sports_corpus, record_snapshot, run_config
+from repro import LoadStamp, news_sports_corpus
 from repro.core.offline import OfflineResolver
 from repro.core.resolver import VroomResolver
+from repro.experiments.parallel import run_sweep
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="sweep worker processes (0 = one per CPU)",
+    )
+    args = parser.parse_args()
+
     pages = news_sports_corpus(count=8)
     stamp = LoadStamp(when_hours=1000.0)
 
-    plts = {"http2": [], "vroom-first-party": [], "vroom": []}
-    for page in pages:
-        snapshot = page.materialize(stamp)
-        store = record_snapshot(snapshot)
-        for config in plts:
-            plts[config].append(
-                run_config(config, page, snapshot, store).plt
-            )
+    configs = ["http2", "vroom-first-party", "vroom"]
+    run, perf = run_sweep(
+        pages, configs, stamp=stamp, workers=args.workers
+    )
+    plts = {config: run.series(config) for config in configs}
+    print(
+        f"({perf.jobs} loads, {perf.workers} workers, "
+        f"{perf.jobs_per_sec:.1f} loads/s)"
+    )
 
     base = statistics.median(plts["http2"])
     partial = statistics.median(plts["vroom-first-party"])
@@ -47,9 +57,12 @@ def main() -> None:
         f"({base - full:+.2f} s)"
     )
 
-    # Server-side costs for one page.
+    # Server-side costs for one page.  The sweep above already
+    # materialised this snapshot; the session cache hands it back.
+    from repro.replay.cache import materialize_cached
+
     page = pages[0]
-    snapshot = page.materialize(stamp)
+    snapshot, _ = materialize_cached(page, stamp)
     resolver = VroomResolver(page)
     bundle = resolver.hints_for(
         snapshot.root, as_of_hours=stamp.when_hours

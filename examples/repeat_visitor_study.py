@@ -13,8 +13,9 @@ Run:  python examples/repeat_visitor_study.py
 
 import statistics
 
-from repro import LoadStamp, news_sports_corpus, record_snapshot, run_config
+from repro import LoadStamp, news_sports_corpus, run_config
 from repro.browser.cache import BrowserCache
+from repro.replay.cache import materialize_cached
 
 SCENARIOS = {
     "cold cache": None,
@@ -33,8 +34,10 @@ def main() -> None:
         vroom_plts, http2_plts, hit_rates = [], [], []
         for page in pages:
             stamp = LoadStamp(when_hours=eval_hour)
-            snapshot = page.materialize(stamp)
-            store = record_snapshot(snapshot)
+            # All four scenarios share one recorded snapshot per page via
+            # the session-wide snapshot cache (only the browser cache
+            # warmth differs between them).
+            snapshot, store = materialize_cached(page, stamp)
             for config, sink in (
                 ("vroom", vroom_plts),
                 ("http2", http2_plts),

@@ -28,12 +28,14 @@ Packages:
 * :mod:`repro.baselines` — HTTP baselines, push strawmen, Polaris, lower
   bounds, and the named-configuration runner.
 * :mod:`repro.analysis` — CDFs, accuracy (FP/FN), persistence, device IoU.
-* :mod:`repro.experiments` — one regeneration function per paper figure.
+* :mod:`repro.experiments` — one regeneration function per paper figure,
+  plus the parallel sweep engine (``sweep_configs``/``run_sweep``).
 """
 
 from repro.baselines import run_config, CONFIG_NAMES
 from repro.browser import BrowserConfig, LoadMetrics, load_page
 from repro.core import VroomResolver, VroomScheduler, vroom_servers
+from repro.experiments import ExperimentRun, run_sweep, sweep_configs
 from repro.net import HttpVersion, NetworkConfig
 from repro.pages import (
     LoadStamp,
@@ -46,6 +48,7 @@ from repro.pages import (
     news_sports_corpus,
 )
 from repro.replay import build_servers, record_snapshot
+from repro.replay.cache import SnapshotCache, materialize_cached
 
 __version__ = "1.0.0"
 
@@ -70,5 +73,10 @@ __all__ = [
     "news_sports_corpus",
     "build_servers",
     "record_snapshot",
+    "SnapshotCache",
+    "materialize_cached",
+    "ExperimentRun",
+    "run_sweep",
+    "sweep_configs",
     "__version__",
 ]

@@ -27,6 +27,7 @@ from repro.net.origin import OriginServer
 from repro.net.simulator import Simulator
 from repro.pages.page import PageSnapshot
 from repro.pages.resources import (
+    PROCESSABLE_TYPES,
     Priority,
     Resource,
     ResourceType,
@@ -622,10 +623,36 @@ class PageLoadEngine:
         return pending
 
     def _check_done(self) -> None:
+        """Set ``onload_at`` once no obligation remains.
+
+        This runs after nearly every engine event, so it is a boolean
+        re-statement of :meth:`_pending_obligations` with early exits and
+        no per-call list or string allocation (the diagnostic form is only
+        built when a load wedges).
+        """
         if self.onload_at is not None:
             return
-        if self._pending_obligations():
+        if not self._root_parse_done or self._layout_done_at is None:
             return
+        doc_parses = self._doc_parses
+        for url, state in self._states.items():
+            resource = state.resource
+            if resource is None:
+                continue
+            if state.timeline.discovered_at is None:
+                continue
+            if not state.fetched:
+                return
+            spec = resource.spec
+            if spec.rtype is ResourceType.HTML:
+                parse = doc_parses.get(url)
+                if parse is None or not parse.finished:
+                    return
+            elif spec.rtype in PROCESSABLE_TYPES:
+                if not state.processed:
+                    return
+            elif not state.decoded:
+                return
         self.onload_at = self.sim.now
 
     # -- driving ----------------------------------------------------------------
@@ -673,17 +700,19 @@ class PageLoadEngine:
         sample()
 
     def _arm_scanners_loop(self) -> None:
-        """Attach the preload scanner to each document once fetch starts."""
-        armed: Set[str] = set()
+        """Attach the preload scanner to each document once fetch starts.
+
+        The document set is fixed for the whole load, so the poll tick
+        walks a shrinking to-do list instead of re-deriving the document
+        list (a full resource-tree walk) on every 5 ms tick.
+        """
+        waiting: List[Resource] = list(self.snapshot.documents())
 
         def poll() -> None:
-            for doc in self.snapshot.documents():
-                if doc.url in armed:
-                    continue
+            still_waiting: List[Resource] = []
+            for doc in waiting:
                 state = self._states.get(doc.url)
-                if state is None:
-                    continue
-                started = (
+                started = state is not None and (
                     state.fetch_requested
                     and (
                         state.timeline.from_cache
@@ -691,9 +720,11 @@ class PageLoadEngine:
                     )
                 )
                 if started:
-                    armed.add(doc.url)
                     self._arm_scanner(doc)
-            if len(armed) < len(self.snapshot.documents()):
+                else:
+                    still_waiting.append(doc)
+            waiting[:] = still_waiting
+            if waiting:
                 self.sim.schedule(0.005, poll)
 
         poll()

@@ -6,7 +6,10 @@ Commands
 ``load``      simulate one page under one or more configurations
 ``waterfall`` render a page load as a text waterfall
 ``audit``     show what a Vroom server would return for a page
-``figure``    regenerate one of the paper's figures
+``figure``    regenerate one of the paper's figures (``--workers`` fans
+              its sweeps out over processes)
+``sweep``     run a corpus × configs sweep on the parallel engine and
+              print per-config medians plus throughput
 ``configs``   list the available named configurations
 ``profiles``  list the available network profiles
 """
@@ -137,7 +140,12 @@ def cmd_audit(args) -> int:
 
 def cmd_figure(args) -> int:
     from repro.experiments import extensions, figures
+    from repro.experiments.parallel import set_default_workers
 
+    if args.workers is not None:
+        # Figures call sweep_configs internally; raising the session
+        # default parallelises those sweeps without touching each figure.
+        set_default_workers(args.workers)
     name = args.name.replace("-", "_")
     func = getattr(figures, name, None) or getattr(extensions, name, None)
     if func is None:
@@ -220,6 +228,37 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    """Corpus × configs sweep on the parallel engine, with a perf line."""
+    import json
+
+    from repro.analysis.stats import median
+    from repro.experiments.parallel import run_sweep
+
+    pages = CORPORA[args.corpus](count=args.count)
+    stamp = LoadStamp(
+        when_hours=DEFAULT_EVAL_HOUR, device=args.device, user=args.user
+    )
+    run, perf = run_sweep(
+        pages, args.configs, stamp=stamp, workers=args.workers
+    )
+    print(
+        f"swept {args.count} pages x {len(args.configs)} configs "
+        f"({perf.jobs} jobs) with {perf.workers} workers "
+        f"in {perf.elapsed:.2f}s ({perf.jobs_per_sec:.1f} jobs/s, "
+        f"snapshot cache hit rate {perf.cache_hit_rate:.0%})"
+    )
+    print(f"{'config':<24} {'median PLT':>11}")
+    for config in args.configs:
+        print(f"{config:<24} {median(run.series(config)):10.2f}s")
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(perf.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"perf report written to {args.report}")
+    return 0
+
+
 def cmd_configs(_args) -> int:
     for name in CONFIG_NAMES:
         print(name)
@@ -280,7 +319,41 @@ def build_parser() -> argparse.ArgumentParser:
     figure = commands.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", help="e.g. fig13_headline, adoption_sweep")
     figure.add_argument("--count", type=int, default=None)
+    figure.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="parallel sweep workers (0 = one per CPU; default serial)",
+    )
     figure.set_defaults(func=cmd_figure)
+
+    sweep = commands.add_parser(
+        "sweep", help="corpus-scale sweep on the parallel engine"
+    )
+    sweep.add_argument(
+        "--corpus", choices=sorted(CORPORA), default="news"
+    )
+    sweep.add_argument("--count", type=int, default=10)
+    sweep.add_argument("--device", default="nexus6")
+    sweep.add_argument("--user", default="user0")
+    sweep.add_argument(
+        "--configs",
+        nargs="+",
+        default=["http2", "vroom"],
+        choices=CONFIG_NAMES,
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (0 or omitted = one per CPU)",
+    )
+    sweep.add_argument(
+        "--report",
+        default=None,
+        help="write the machine-readable perf report (JSON) here",
+    )
+    sweep.set_defaults(func=cmd_sweep)
 
     commands.add_parser(
         "configs", help="list named configurations"

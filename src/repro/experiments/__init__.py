@@ -5,6 +5,19 @@ from repro.experiments.harness import (
     load_once,
     sweep_configs,
 )
+from repro.experiments.parallel import (
+    SweepPerf,
+    run_sweep,
+    set_default_workers,
+)
 from repro.experiments import figures
 
-__all__ = ["ExperimentRun", "load_once", "sweep_configs", "figures"]
+__all__ = [
+    "ExperimentRun",
+    "SweepPerf",
+    "load_once",
+    "run_sweep",
+    "set_default_workers",
+    "sweep_configs",
+    "figures",
+]

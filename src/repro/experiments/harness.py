@@ -3,13 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from repro.baselines.configs import run_config
 from repro.browser.metrics import LoadMetrics
 from repro.calibration import DEFAULT_EVAL_HOUR
 from repro.pages.dynamics import LoadStamp
 from repro.pages.page import PageBlueprint
+from repro.replay.cache import SnapshotCache, materialize_cached
 from repro.replay.recorder import record_snapshot
 
 
@@ -24,19 +25,58 @@ class ExperimentRun:
         self.values.setdefault(config, []).append(value)
 
     def series(self, config: str) -> List[float]:
-        return self.values[config]
+        try:
+            return self.values[config]
+        except KeyError:
+            known = ", ".join(sorted(self.values)) or "<none>"
+            raise KeyError(
+                f"no series for config {config!r}; "
+                f"this run holds: {known}"
+            ) from None
+
+    @classmethod
+    def merge(cls, runs: Iterable["ExperimentRun"]) -> "ExperimentRun":
+        """Combine shards (e.g. from parallel workers) into one run.
+
+        Shards must agree on the metric; per-config series concatenate in
+        shard order, so sharding a corpus and merging reproduces the
+        unsharded run exactly.
+        """
+        runs = list(runs)
+        if not runs:
+            raise ValueError("cannot merge zero ExperimentRun shards")
+        metrics = {run.metric for run in runs}
+        if len(metrics) > 1:
+            raise ValueError(
+                f"cannot merge runs over different metrics: {sorted(metrics)}"
+            )
+        merged = cls(metric=runs[0].metric)
+        for run in runs:
+            for config, series in run.values.items():
+                merged.values.setdefault(config, []).extend(series)
+        return merged
 
 
 def load_once(
     page: PageBlueprint,
     config: str,
     stamp: Optional[LoadStamp] = None,
+    snapshot_cache: Union[SnapshotCache, None, bool] = False,
     **kwargs,
 ) -> LoadMetrics:
-    """Record one snapshot of ``page`` and load it under ``config``."""
+    """Record one snapshot of ``page`` and load it under ``config``.
+
+    ``snapshot_cache`` selects where the snapshot/store come from: ``False``
+    (default) records fresh, ``None`` uses the session-wide cache, or pass
+    a :class:`SnapshotCache` instance.
+    """
     stamp = stamp or LoadStamp(when_hours=DEFAULT_EVAL_HOUR)
-    snapshot = page.materialize(stamp)
-    store = record_snapshot(snapshot)
+    if snapshot_cache is False:
+        snapshot = page.materialize(stamp)
+        store = record_snapshot(snapshot)
+    else:
+        cache = None if snapshot_cache in (None, True) else snapshot_cache
+        snapshot, store = materialize_cached(page, stamp, cache)
     return run_config(config, page, snapshot, store, **kwargs)
 
 
@@ -49,17 +89,30 @@ def sweep_configs(
     per_page_hook: Optional[
         Callable[[PageBlueprint, str, LoadMetrics], None]
     ] = None,
+    workers: Optional[int] = None,
+    cache: Optional[SnapshotCache] = None,
 ) -> ExperimentRun:
-    """Load every page under every configuration; collect one metric."""
-    stamp = stamp or LoadStamp(when_hours=DEFAULT_EVAL_HOUR)
-    run = ExperimentRun(metric=metric_name)
-    configs = list(configs)
-    for page in pages:
-        snapshot = page.materialize(stamp)
-        store = record_snapshot(snapshot)
-        for config in configs:
-            metrics = run_config(config, page, snapshot, store)
-            run.add(config, metric(metrics))
-            if per_page_hook is not None:
-                per_page_hook(page, config, metrics)
+    """Load every page under every configuration; collect one metric.
+
+    Runs on the parallel sweep engine: ``workers=None`` uses the session
+    default (1, i.e. serial, unless raised via
+    :func:`repro.experiments.parallel.set_default_workers` or the CLI's
+    ``--workers``); any value > 1 fans the (page, config) jobs out over
+    that many processes.  Results are collected by job index, so the
+    returned run is bit-identical regardless of the worker count.
+    """
+    from repro.experiments.parallel import get_default_workers, run_sweep
+
+    if workers is None:
+        workers = get_default_workers()
+    run, _ = run_sweep(
+        pages,
+        configs,
+        metric=metric,
+        metric_name=metric_name,
+        stamp=stamp,
+        per_page_hook=per_page_hook,
+        workers=workers,
+        cache=cache,
+    )
     return run

@@ -1,0 +1,221 @@
+"""Parallel sweep engine: fan (page, config, stamp) jobs over processes.
+
+Every paper figure is a sweep of (page × config) simulations.  The engine
+here decomposes a sweep into an indexed job list, runs the jobs on a
+``ProcessPoolExecutor`` (or inline when ``workers <= 1``), and collects
+results *by job index*, so the assembled :class:`ExperimentRun` is
+bit-identical to what the serial loop produces no matter how jobs
+interleave across workers.
+
+Determinism contract
+--------------------
+* Job ``i * len(configs) + j`` is page ``i`` under config ``j`` — the same
+  nesting order as the serial loop.
+* Workers receive prebuilt ``(page, snapshot, store)`` bundles (pickled
+  once per worker at pool start-up), not builders: ``materialize`` and
+  ``record_snapshot`` are pure, so a pickled copy is value-identical to
+  the parent's and each simulation is a pure function of its bundle.
+* Metric extraction and ``per_page_hook`` calls happen in the parent, in
+  job-index order, because metrics/hooks are often closures that cannot
+  (and should not) cross a process boundary.
+
+The snapshot/store bundles come from a content-addressed
+:class:`~repro.replay.cache.SnapshotCache`, so repeated sweeps in one
+session — every figure bench, every config — share one snapshot per
+(page, stamp) instead of re-materialising it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.baselines.configs import run_config
+from repro.browser.metrics import LoadMetrics
+from repro.calibration import DEFAULT_EVAL_HOUR
+from repro.pages.dynamics import LoadStamp
+from repro.pages.page import PageBlueprint, PageSnapshot
+from repro.replay.cache import SnapshotCache, materialize_cached
+from repro.replay.store import ReplayStore
+
+#: Work bundle one job needs: the page plus its prebuilt snapshot/store.
+WorkItem = Tuple[PageBlueprint, PageSnapshot, ReplayStore]
+
+#: Session default used when ``sweep_configs`` is called without an
+#: explicit worker count; set from the CLI's ``--workers`` flag.
+_DEFAULT_WORKERS = 1
+
+
+def set_default_workers(workers: Optional[int]) -> None:
+    """Set the session-wide default worker count (None/0 → cpu_count)."""
+    global _DEFAULT_WORKERS
+    _DEFAULT_WORKERS = resolve_workers(workers)
+
+
+def get_default_workers() -> int:
+    return _DEFAULT_WORKERS
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a worker request: None or 0 means one per CPU."""
+    if workers is None or workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One (page, config) cell of a sweep, with its deterministic index."""
+
+    index: int
+    page_index: int
+    config: str
+
+
+@dataclass
+class SweepPerf:
+    """Machine-readable performance record of one sweep."""
+
+    jobs: int
+    workers: int
+    elapsed: float
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def jobs_per_sec(self) -> float:
+        return self.jobs / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "workers": self.workers,
+            "elapsed_sec": self.elapsed,
+            "jobs_per_sec": self.jobs_per_sec,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+
+def sweep_jobs(
+    page_count: int, configs: Sequence[str]
+) -> List[SweepJob]:
+    """The dense job list for a sweep, in serial-loop order."""
+    jobs: List[SweepJob] = []
+    for page_index in range(page_count):
+        for config in configs:
+            jobs.append(SweepJob(len(jobs), page_index, config))
+    return jobs
+
+
+# -- worker side -------------------------------------------------------------
+
+#: Per-process work table, installed by the pool initializer so each job
+#: submission only ships a few integers instead of the snapshot tree.
+_WORKER_WORK: List[WorkItem] = []
+
+
+def _init_worker(work: List[WorkItem]) -> None:
+    global _WORKER_WORK
+    _WORKER_WORK = work
+
+
+def _run_job(job: SweepJob) -> Tuple[int, LoadMetrics]:
+    page, snapshot, store = _WORKER_WORK[job.page_index]
+    return job.index, run_config(job.config, page, snapshot, store)
+
+
+# -- parent side -------------------------------------------------------------
+
+def run_metrics_grid(
+    work: List[WorkItem],
+    configs: Sequence[str],
+    workers: int,
+) -> List[LoadMetrics]:
+    """Run every (page, config) job; results in job-index order."""
+    jobs = sweep_jobs(len(work), configs)
+    results: List[Optional[LoadMetrics]] = [None] * len(jobs)
+    if workers <= 1 or len(jobs) <= 1:
+        _init_worker(work)
+        for job in jobs:
+            index, metrics = _run_job(job)
+            results[index] = metrics
+    else:
+        chunksize = max(1, len(jobs) // (workers * 4))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(work,),
+        ) as pool:
+            for index, metrics in pool.map(
+                _run_job, jobs, chunksize=chunksize
+            ):
+                results[index] = metrics
+    return results  # type: ignore[return-value]
+
+
+def run_sweep(
+    pages: Iterable[PageBlueprint],
+    configs: Iterable[str],
+    metric: Callable[[LoadMetrics], float] = lambda metrics: metrics.plt,
+    metric_name: str = "plt",
+    stamp: Optional[LoadStamp] = None,
+    per_page_hook: Optional[
+        Callable[[PageBlueprint, str, LoadMetrics], None]
+    ] = None,
+    workers: Optional[int] = None,
+    cache: Optional[SnapshotCache] = None,
+) -> Tuple["ExperimentRun", SweepPerf]:
+    """Sweep every page under every config; return the run plus its perf.
+
+    ``workers=None`` uses one worker per CPU; ``workers=1`` runs inline.
+    ``cache=None`` uses the session-wide snapshot cache (pass a private
+    :class:`SnapshotCache` to isolate, e.g. in tests).
+    """
+    from repro.experiments.harness import ExperimentRun
+
+    pages = list(pages)
+    configs = list(configs)
+    stamp = stamp or LoadStamp(when_hours=DEFAULT_EVAL_HOUR)
+    workers = resolve_workers(workers)
+
+    from repro.replay.cache import DEFAULT_CACHE
+
+    started = time.perf_counter()
+    active_cache = cache if cache is not None else DEFAULT_CACHE
+    hits_before = active_cache.stats.hits
+    misses_before = active_cache.stats.misses
+
+    work: List[WorkItem] = []
+    for page in pages:
+        snapshot, store = materialize_cached(page, stamp, active_cache)
+        work.append((page, snapshot, store))
+
+    results = run_metrics_grid(work, configs, workers)
+
+    run = ExperimentRun(metric=metric_name)
+    cursor = 0
+    for page in pages:
+        for config in configs:
+            metrics = results[cursor]
+            cursor += 1
+            run.add(config, metric(metrics))
+            if per_page_hook is not None:
+                per_page_hook(page, config, metrics)
+    perf = SweepPerf(
+        jobs=len(results),
+        workers=workers,
+        elapsed=time.perf_counter() - started,
+        cache_hits=active_cache.stats.hits - hits_before,
+        cache_misses=active_cache.stats.misses - misses_before,
+    )
+    return run, perf

@@ -85,6 +85,7 @@ class StreamHandle:
             self.bytes_done = self.bytes_total
             self.done = True
             self.completed_at = sim.now
+            self.channel.invalidate_active()
             sim.call_soon(self.on_complete)
 
 
@@ -123,6 +124,10 @@ class Channel:
         self.rtt = rtt
         self.cwnd = INITIAL_CWND_BYTES
         self.streams: List[StreamHandle] = []
+        #: Memoised list of not-yet-done streams; None when stale.  Stream
+        #: starts and completions invalidate it, so the per-poke rate loops
+        #: stop re-filtering (and re-allocating) an unchanged set.
+        self._active_cache: Optional[List[StreamHandle]] = None
         self._last_busy_at = link.sim.now
         #: Bytes until this connection's next simulated packet loss.
         self._bytes_to_next_loss = self._sample_loss_gap(seed_extra=0)
@@ -180,15 +185,25 @@ class Channel:
                 self.cwnd = INITIAL_CWND_BYTES
         stream = StreamHandle(self, nbytes, on_complete, weight)
         self.streams.append(stream)
+        self._active_cache = None
         if nbytes == 0:
             stream.fire_ready(self.link.sim)
             self.streams.remove(stream)
+            self._active_cache = None
         else:
             self.link.poke()
         return stream
 
+    def invalidate_active(self) -> None:
+        self._active_cache = None
+
     def active_streams(self) -> List[StreamHandle]:
-        return [stream for stream in self.streams if not stream.done]
+        active = self._active_cache
+        if active is None:
+            active = self._active_cache = [
+                stream for stream in self.streams if not stream.done
+            ]
+        return active
 
     def assign_rates(self, byte_rate: float) -> None:
         """Distribute this connection's byte rate across its streams."""
@@ -235,6 +250,10 @@ class AccessLink:
         self._last_update = sim.now
         self._tick_event: Optional[Event] = None
         self._in_poke = False
+        #: Memoised water-filling result: signature of (channel id, cap)
+        #: pairs -> rates.  Valid until the busy set or any cap changes.
+        self._rates_sig: Optional[tuple] = None
+        self._rates: Dict[int, float] = {}
         #: Total body bytes delivered (for accounting tests).
         self.bytes_delivered = 0.0
         #: Seconds during which at least one stream was receiving bytes.
@@ -280,8 +299,22 @@ class AccessLink:
         ]
 
     def _channel_rates(self, busy: List[Channel]) -> Dict[int, float]:
-        """Water-filling: equal shares, with cwnd-capped surplus recycled."""
+        """Water-filling: equal shares, with cwnd-capped surplus recycled.
+
+        The full computation only reruns when the connection set or some
+        connection's window cap has changed since the previous call; an
+        unchanged signature reuses the memoised allocation, and the common
+        single-connection case short-circuits entirely.
+        """
         total_byte_rate = self.downlink_bps / 8.0
+        if len(busy) == 1:
+            channel = busy[0]
+            return {channel.id: min(total_byte_rate, channel.rate_cap())}
+        signature = tuple(
+            (channel.id, channel.rate_cap()) for channel in busy
+        )
+        if signature == self._rates_sig:
+            return self._rates
         rates: Dict[int, float] = {}
         remaining = list(busy)
         budget = total_byte_rate
@@ -302,6 +335,8 @@ class AccessLink:
                 rates[channel.id] = channel.rate_cap()
                 budget -= channel.rate_cap()
                 remaining.remove(channel)
+        self._rates_sig = signature
+        self._rates = rates
         return rates
 
     def _recompute(self) -> None:

@@ -3,28 +3,47 @@
 Events are ``(time, sequence, callback)`` triples in a binary heap.  The
 sequence number breaks time ties in scheduling order, which keeps every run
 fully deterministic.  Time is float seconds from an arbitrary origin.
+
+Cancelled events are *compacted* out of the heap lazily: the simulator
+counts cancellations and rebuilds the heap once cancelled entries dominate,
+so models that churn timer events (e.g. the link's rate-refresh tick) never
+drag a long tail of dead events through every ``heappop``.  The live-event
+count is maintained incrementally, making :meth:`Simulator.pending` O(1)
+instead of an O(n) scan.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
+
+#: Compaction threshold: rebuild the heap once at least this many events are
+#: cancelled *and* they outnumber the live ones.  Rebuilding is O(n); with
+#: this policy its amortised cost per cancellation is O(1).
+_COMPACT_MIN_CANCELLED = 64
 
 
 class Event:
     """Handle to a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "sim")
 
     def __init__(self, time: float, seq: int, callback: Callable[[], None]):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        #: Owning simulator while the event sits in the heap; detached
+        #: (set to None) once popped so late cancels don't skew accounting.
+        self.sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.sim is not None:
+            self.sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -38,8 +57,12 @@ class Simulator:
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
+        #: Cancelled events still sitting in the heap.
+        self._cancelled = 0
         #: Total events executed (exposed for runaway detection / stats).
         self.executed = 0
+        #: Heap rebuilds performed by lazy compaction (exposed for tests).
+        self.compactions = 0
 
     @property
     def now(self) -> float:
@@ -50,6 +73,7 @@ class Simulator:
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
         event = Event(self._now + delay, next(self._seq), callback)
+        event.sim = self
         heapq.heappush(self._queue, event)
         return event
 
@@ -60,6 +84,29 @@ class Simulator:
     def call_soon(self, callback: Callable[[], None]) -> Event:
         """Run ``callback`` at the current time, after pending same-time events."""
         return self.schedule(0.0, callback)
+
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled >= _COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and restore the heap invariant.
+
+        Safe at any point: event ordering is total (time, seq), so
+        ``heapify`` over the surviving events reproduces exactly the order
+        a pop-by-pop drain would have seen.
+        """
+        for event in self._queue:
+            if event.cancelled:
+                event.sim = None
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+        self.compactions += 1
 
     def run(
         self,
@@ -74,18 +121,26 @@ class Simulator:
         if self._running:
             raise RuntimeError("simulator is not reentrant")
         self._running = True
+        heappop = heapq.heappop
+        heappush = heapq.heappush
         try:
+            # Callbacks may cancel events and trigger a compaction that
+            # replaces ``self._queue``, so re-read the attribute each loop.
             while self._queue:
-                event = heapq.heappop(self._queue)
+                event = heappop(self._queue)
                 if event.cancelled:
+                    event.sim = None
+                    self._cancelled -= 1
                     continue
                 if until is not None and event.time > until:
-                    heapq.heappush(self._queue, event)
+                    heappush(self._queue, event)
                     self._now = until
                     break
+                event.sim = None
                 if event.time < self._now - 1e-12:
                     raise RuntimeError("event scheduled in the past")
-                self._now = max(self._now, event.time)
+                if event.time > self._now:
+                    self._now = event.time
                 self.executed += 1
                 if self.executed > max_events:
                     raise RuntimeError(
@@ -98,9 +153,13 @@ class Simulator:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, if any."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            dead = heapq.heappop(queue)
+            dead.sim = None
+            self._cancelled -= 1
+        return queue[0].time if queue else None
 
     def pending(self) -> int:
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events, in O(1)."""
+        return len(self._queue) - self._cancelled

@@ -137,47 +137,66 @@ class PageBlueprint:
 
 @dataclass
 class PageSnapshot:
-    """One concrete load of a page: what the client would actually fetch."""
+    """One concrete load of a page: what the client would actually fetch.
+
+    The resource tree is fixed once :meth:`PageBlueprint.materialize`
+    returns, so the pre-order walk and its derived views are computed once
+    and memoised — the browser engine's discovery loop and completion
+    checks hit these accessors thousands of times per simulated load.
+    """
 
     page: str
     stamp: LoadStamp
     root: Resource
     resources: Dict[str, Resource]
 
+    def __post_init__(self) -> None:
+        self._walk_cache: Optional[List[Resource]] = None
+        self._documents_cache: Optional[List[Resource]] = None
+
     def __iter__(self):
         return iter(self.all_resources())
 
+    def _walk(self) -> List[Resource]:
+        walk = self._walk_cache
+        if walk is None:
+            walk = self._walk_cache = self.root.subtree()
+        return walk
+
     def all_resources(self) -> List[Resource]:
-        return self.root.subtree()
+        return list(self._walk())
 
     def by_url(self) -> Dict[str, Resource]:
-        return {resource.url: resource for resource in self.all_resources()}
+        return {resource.url: resource for resource in self._walk()}
 
     def urls(self) -> List[str]:
-        return [resource.url for resource in self.all_resources()]
+        return [resource.url for resource in self._walk()]
 
     def total_bytes(self) -> int:
-        return sum(resource.size for resource in self.all_resources())
+        return sum(resource.size for resource in self._walk())
 
     def processable_bytes(self) -> int:
         return sum(
             resource.size
-            for resource in self.all_resources()
+            for resource in self._walk()
             if resource.processable
         )
 
     def domains(self) -> List[str]:
         seen: Dict[str, None] = {}
-        for resource in self.all_resources():
+        for resource in self._walk():
             seen.setdefault(resource.domain, None)
         return list(seen)
 
     def documents(self) -> List[Resource]:
-        return [
-            resource
-            for resource in self.all_resources()
-            if resource.is_document
-        ]
+        documents = self._documents_cache
+        if documents is None:
+            documents = self._documents_cache = [
+                resource
+                for resource in self._walk()
+                if resource.is_document
+            ]
+        return documents
 
     def find(self, name: str) -> Resource:
         return self.resources[name]

@@ -1,0 +1,159 @@
+"""Content-addressed cache of materialised snapshots and recorded stores.
+
+``PageBlueprint.materialize`` and ``record_snapshot`` are pure functions of
+(blueprint, stamp): identical inputs always produce byte-identical
+snapshots and stores.  Every figure bench and sweep re-derives the same
+snapshots, so a session-wide cache keyed on a *content fingerprint* of the
+blueprint plus the stamp lets all configurations — and all benchmarks in a
+process — share one snapshot/store pair per (page, stamp).
+
+The key is content-addressed rather than identity-based: two blueprint
+objects with identical structure hit the same entry, and any change to any
+spec field changes the fingerprint.  Cached ``(PageSnapshot, ReplayStore)``
+pairs are plain dataclass trees, so they pickle cleanly to worker
+processes (the parallel sweep engine ships prebuilt stores instead of
+having each worker re-record them).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from typing import Optional, Tuple
+
+from repro.pages.dynamics import LoadStamp
+from repro.pages.page import PageBlueprint, PageSnapshot
+from repro.replay.recorder import record_snapshot
+from repro.replay.store import ReplayStore
+
+
+def blueprint_fingerprint(page: PageBlueprint) -> str:
+    """Stable content hash of a blueprint's full structure.
+
+    Covers the page name, root, and every field of every spec, so any
+    structural edit — size, domain, flux flags, parentage — produces a
+    different fingerprint while identically-built blueprints collide (which
+    is exactly what a content-addressed cache wants).
+    """
+    digest = hashlib.sha256()
+    digest.update(f"{page.name}|{page.root}".encode())
+    for name in sorted(page.specs):
+        spec = page.specs[name]
+        row = tuple(
+            (field.name, str(getattr(spec, field.name)))
+            for field in fields(spec)
+        )
+        digest.update(repr(row).encode())
+    return digest.hexdigest()
+
+
+def stamp_key(stamp: LoadStamp) -> Tuple[float, str, str, int]:
+    """The stamp fields that feed URL/size resolution, as a hashable key."""
+    return (stamp.when_hours, stamp.device, stamp.user, stamp.nonce)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache (or a whole session)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class SnapshotCache:
+    """LRU cache of ``(snapshot, store)`` keyed on (blueprint, stamp).
+
+    Entries are returned *shared*: loads never mutate a snapshot or store
+    (the serial sweep has always reused one snapshot across configs), so
+    sharing across benchmarks and across configs is safe and is the point.
+    """
+
+    def __init__(self, max_entries: Optional[int] = 512):
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive or None")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[tuple, Tuple[PageSnapshot, ReplayStore]]" = (
+            OrderedDict()
+        )
+        #: Fingerprints memoised per blueprint object (id-keyed weak-ish
+        #: memo; recomputing the content hash on every lookup would defeat
+        #: the purpose for large corpora).
+        self._fingerprints: "OrderedDict[int, Tuple[PageBlueprint, str]]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        # An *empty* cache must still be truthy: callers distinguish "no
+        # cache supplied" (None) from "private empty cache" (instance).
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._fingerprints.clear()
+        self.stats = CacheStats()
+
+    def _fingerprint(self, page: PageBlueprint) -> str:
+        memo = self._fingerprints.get(id(page))
+        # Guard against id() reuse after garbage collection: the memo also
+        # pins the blueprint object, so a live hit is always genuine.
+        if memo is not None and memo[0] is page:
+            return memo[1]
+        fingerprint = blueprint_fingerprint(page)
+        self._fingerprints[id(page)] = (page, fingerprint)
+        if len(self._fingerprints) > 4096:
+            self._fingerprints.popitem(last=False)
+        return fingerprint
+
+    def key(self, page: PageBlueprint, stamp: LoadStamp) -> tuple:
+        return (self._fingerprint(page), stamp_key(stamp))
+
+    def materialized(
+        self, page: PageBlueprint, stamp: LoadStamp
+    ) -> Tuple[PageSnapshot, ReplayStore]:
+        """The ``(snapshot, store)`` for (page, stamp), cached.
+
+        A miss materialises the snapshot and records it; a hit returns the
+        previously built pair, promoted to most-recently-used.
+        """
+        key = self.key(page, stamp)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return entry
+        self.stats.misses += 1
+        snapshot = page.materialize(stamp)
+        store = record_snapshot(snapshot)
+        self._entries[key] = (snapshot, store)
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return snapshot, store
+
+
+#: Session-wide default cache: every sweep and benchmark in a process
+#: shares snapshots through this instance unless told otherwise.
+DEFAULT_CACHE = SnapshotCache()
+
+
+def materialize_cached(
+    page: PageBlueprint,
+    stamp: LoadStamp,
+    cache: Optional[SnapshotCache] = None,
+) -> Tuple[PageSnapshot, ReplayStore]:
+    """Materialise and record through ``cache`` (default: session cache)."""
+    if cache is None:
+        cache = DEFAULT_CACHE
+    return cache.materialized(page, stamp)

@@ -1,0 +1,150 @@
+"""Determinism and plumbing tests for the parallel sweep engine."""
+
+import pytest
+
+from repro.calibration import DEFAULT_EVAL_HOUR
+from repro.experiments.harness import ExperimentRun, sweep_configs
+from repro.experiments.parallel import (
+    SweepPerf,
+    resolve_workers,
+    run_sweep,
+    sweep_jobs,
+)
+from repro.pages.corpus import news_sports_corpus
+from repro.pages.dynamics import LoadStamp
+from repro.replay.cache import SnapshotCache
+
+CONFIGS = ["http2", "vroom", "push-all-fetch-asap"]
+
+
+@pytest.fixture(scope="module")
+def pages():
+    return news_sports_corpus(count=3)
+
+
+@pytest.fixture(scope="module")
+def serial_run(pages):
+    run, _ = run_sweep(
+        pages, CONFIGS, workers=1, cache=SnapshotCache()
+    )
+    return run
+
+
+class TestJobDecomposition:
+    def test_indices_follow_serial_nesting(self):
+        jobs = sweep_jobs(2, ["a", "b"])
+        assert [(j.index, j.page_index, j.config) for j in jobs] == [
+            (0, 0, "a"), (1, 0, "b"), (2, 1, "a"), (3, 1, "b"),
+        ]
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+
+
+class TestDeterminism:
+    """Parallel output must be bit-identical to the serial path."""
+
+    def test_one_worker_matches_serial(self, pages, serial_run):
+        run, perf = run_sweep(
+            pages, CONFIGS, workers=1, cache=SnapshotCache()
+        )
+        assert run.values == serial_run.values
+        assert perf.jobs == len(pages) * len(CONFIGS)
+
+    def test_n_workers_match_serial(self, pages, serial_run):
+        run, perf = run_sweep(
+            pages, CONFIGS, workers=3, cache=SnapshotCache()
+        )
+        assert run.values == serial_run.values
+        assert perf.workers == 3
+
+    def test_sweep_configs_wrapper_matches(self, pages, serial_run):
+        run = sweep_configs(
+            pages, CONFIGS, workers=2, cache=SnapshotCache()
+        )
+        assert run.values == serial_run.values
+
+    def test_hooks_fire_in_serial_order(self, pages):
+        order = []
+        run_sweep(
+            pages,
+            ["http2", "vroom"],
+            workers=2,
+            cache=SnapshotCache(),
+            per_page_hook=lambda page, config, metrics: order.append(
+                (page.name, config)
+            ),
+        )
+        expected = [
+            (page.name, config)
+            for page in pages
+            for config in ("http2", "vroom")
+        ]
+        assert order == expected
+
+    def test_custom_metric_applies_in_parent(self, pages):
+        run, _ = run_sweep(
+            pages,
+            ["http2"],
+            metric=lambda metrics: metrics.aft,
+            metric_name="aft",
+            workers=2,
+            cache=SnapshotCache(),
+        )
+        assert run.metric == "aft"
+        assert all(value > 0 for value in run.series("http2"))
+
+
+class TestSweepPerf:
+    def test_cache_counters_isolated_per_sweep(self, pages):
+        cache = SnapshotCache()
+        _, cold = run_sweep(pages, ["http2"], workers=1, cache=cache)
+        _, warm = run_sweep(pages, ["vroom"], workers=1, cache=cache)
+        assert cold.cache_misses == len(pages) and cold.cache_hits == 0
+        assert warm.cache_hits == len(pages) and warm.cache_misses == 0
+        assert warm.cache_hit_rate == 1.0
+
+    def test_perf_report_shape(self):
+        perf = SweepPerf(
+            jobs=10, workers=2, elapsed=2.0, cache_hits=3, cache_misses=7
+        )
+        report = perf.as_dict()
+        assert report["jobs_per_sec"] == 5.0
+        assert report["cache_hit_rate"] == 0.3
+        assert set(report) == {
+            "jobs", "workers", "elapsed_sec", "jobs_per_sec",
+            "cache_hits", "cache_misses", "cache_hit_rate",
+        }
+
+
+class TestExperimentRunShards:
+    def test_merge_reassembles_sharded_sweep(self, pages, serial_run):
+        stamp = LoadStamp(when_hours=DEFAULT_EVAL_HOUR)
+        shards = [
+            run_sweep(
+                [page], CONFIGS, stamp=stamp, workers=1,
+                cache=SnapshotCache(),
+            )[0]
+            for page in pages
+        ]
+        merged = ExperimentRun.merge(shards)
+        assert merged.values == serial_run.values
+
+    def test_merge_rejects_mixed_metrics(self):
+        with pytest.raises(ValueError, match="different metrics"):
+            ExperimentRun.merge(
+                [ExperimentRun(metric="plt"), ExperimentRun(metric="aft")]
+            )
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError, match="zero"):
+            ExperimentRun.merge([])
+
+    def test_series_error_names_known_configs(self):
+        run = ExperimentRun(metric="plt")
+        run.add("http2", 1.0)
+        run.add("vroom", 2.0)
+        with pytest.raises(KeyError, match="http2, vroom"):
+            run.series("polaris")

@@ -88,6 +88,53 @@ class TestCancellation:
         dead.cancel()
         assert sim.pending() == 1
 
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        dead = sim.schedule(2.0, lambda: None)
+        dead.cancel()
+        dead.cancel()
+        assert sim.pending() == 1
+
+    def test_cancel_after_execution_does_not_skew_pending(self):
+        sim = Simulator()
+        events = []
+        events.append(sim.schedule(1.0, lambda: None))
+        sim.run()
+        events[0].cancel()  # already executed; must not affect accounting
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 1
+
+    def test_mass_cancellation_compacts_heap(self):
+        sim = Simulator()
+        live = sim.schedule(500.0, lambda: None)
+        doomed = [sim.schedule(float(i + 1), lambda: None) for i in range(200)]
+        for event in doomed:
+            event.cancel()
+        assert sim.compactions >= 1
+        assert sim.pending() == 1
+        assert sim.peek_time() == 500.0
+        live.cancel()
+        assert sim.pending() == 0
+
+    def test_order_preserved_across_compaction(self):
+        sim = Simulator()
+        order = []
+        keepers = [
+            sim.schedule(float(i), lambda i=i: order.append(i))
+            for i in range(5)
+        ]
+        doomed = [
+            sim.schedule(float(i) + 0.5, lambda: order.append(-1))
+            for i in range(200)
+        ]
+        for event in doomed:
+            event.cancel()
+        assert sim.compactions >= 1
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+        assert keepers[0].sim is None
+
 
 class TestRunControls:
     def test_until_pauses_clock(self):

@@ -1,0 +1,132 @@
+"""Tests for the content-addressed snapshot/store cache."""
+
+import pickle
+
+from repro.baselines.configs import run_config
+from repro.calibration import DEFAULT_EVAL_HOUR
+from repro.pages.corpus import news_sports_corpus
+from repro.pages.dynamics import LoadStamp
+from repro.replay.cache import (
+    SnapshotCache,
+    blueprint_fingerprint,
+    materialize_cached,
+    stamp_key,
+)
+from repro.replay.recorder import record_snapshot
+
+
+def _stamp(**overrides):
+    defaults = dict(when_hours=DEFAULT_EVAL_HOUR)
+    defaults.update(overrides)
+    return LoadStamp(**defaults)
+
+
+class TestFingerprint:
+    def test_identically_built_blueprints_collide(self):
+        a = news_sports_corpus(count=1, seed=42)[0]
+        b = news_sports_corpus(count=1, seed=42)[0]
+        assert a is not b
+        assert blueprint_fingerprint(a) == blueprint_fingerprint(b)
+
+    def test_different_seeds_differ(self):
+        a = news_sports_corpus(count=1, seed=42)[0]
+        b = news_sports_corpus(count=1, seed=43)[0]
+        assert blueprint_fingerprint(a) != blueprint_fingerprint(b)
+
+    def test_spec_edit_changes_fingerprint(self):
+        page = news_sports_corpus(count=1)[0]
+        before = blueprint_fingerprint(page)
+        spec = next(iter(page.specs.values()))
+        spec.size += 1
+        assert blueprint_fingerprint(page) != before
+
+    def test_stamp_key_covers_all_flux_inputs(self):
+        base = _stamp()
+        for other in (
+            _stamp(when_hours=DEFAULT_EVAL_HOUR + 1),
+            _stamp(device="nexus10"),
+            _stamp(user="other"),
+            _stamp(nonce=5),
+        ):
+            assert stamp_key(base) != stamp_key(other)
+
+
+class TestSnapshotCache:
+    def test_hit_returns_same_objects(self):
+        cache = SnapshotCache()
+        page = news_sports_corpus(count=1)[0]
+        snap1, store1 = cache.materialized(page, _stamp())
+        snap2, store2 = cache.materialized(page, _stamp())
+        assert snap1 is snap2 and store1 is store2
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_hit_load_identical_to_fresh_recording(self):
+        cache = SnapshotCache()
+        page = news_sports_corpus(count=1)[0]
+        stamp = _stamp()
+        cache.materialized(page, stamp)  # prime
+        snap_hit, store_hit = cache.materialized(page, stamp)
+        snap_cold = page.materialize(stamp)
+        store_cold = record_snapshot(snap_cold)
+        for config in ("http2", "vroom"):
+            hit = run_config(config, page, snap_hit, store_hit)
+            cold = run_config(config, page, snap_cold, store_cold)
+            assert hit.plt == cold.plt
+            assert hit.aft == cold.aft
+            assert hit.speed_index == cold.speed_index
+            assert hit.wasted_bytes == cold.wasted_bytes
+
+    def test_distinct_stamps_never_collide(self):
+        cache = SnapshotCache()
+        page = news_sports_corpus(count=1)[0]
+        snap_a, _ = cache.materialized(page, _stamp(nonce=0))
+        snap_b, _ = cache.materialized(page, _stamp(nonce=1))
+        assert snap_a is not snap_b
+        assert cache.stats.misses == 2
+
+    def test_distinct_seeds_never_collide(self):
+        cache = SnapshotCache()
+        a = news_sports_corpus(count=1, seed=7)[0]
+        b = news_sports_corpus(count=1, seed=8)[0]
+        snap_a, _ = cache.materialized(a, _stamp())
+        snap_b, _ = cache.materialized(b, _stamp())
+        assert snap_a is not snap_b
+        assert {snap_a.page, snap_b.page} == {a.name, b.name}
+
+    def test_content_addressed_across_objects(self):
+        cache = SnapshotCache()
+        a = news_sports_corpus(count=1, seed=42)[0]
+        b = news_sports_corpus(count=1, seed=42)[0]
+        cache.materialized(a, _stamp())
+        cache.materialized(b, _stamp())
+        assert cache.stats.hits == 1
+
+    def test_lru_eviction(self):
+        cache = SnapshotCache(max_entries=2)
+        pages = news_sports_corpus(count=3)
+        for page in pages:
+            cache.materialized(page, _stamp())
+        assert len(cache) == 2
+        cache.materialized(pages[0], _stamp())  # evicted -> miss again
+        assert cache.stats.misses == 4
+
+    def test_empty_cache_is_truthy(self):
+        assert SnapshotCache()
+
+    def test_cached_pair_pickles(self):
+        cache = SnapshotCache()
+        page = news_sports_corpus(count=1)[0]
+        snapshot, store = cache.materialized(page, _stamp())
+        copy_snapshot, copy_store = pickle.loads(
+            pickle.dumps((snapshot, store))
+        )
+        assert copy_snapshot.urls() == snapshot.urls()
+        assert copy_store.urls() == store.urls()
+
+    def test_materialize_cached_uses_supplied_cache(self):
+        cache = SnapshotCache()
+        page = news_sports_corpus(count=1)[0]
+        materialize_cached(page, _stamp(), cache)
+        materialize_cached(page, _stamp(), cache)
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
