@@ -10,7 +10,7 @@ tools already understand.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.browser.metrics import LoadMetrics, ResourceTimeline
 

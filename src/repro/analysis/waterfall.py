@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.browser.metrics import LoadMetrics, ResourceTimeline
+from repro.browser.metrics import LoadMetrics
 
 #: Characters used for the span bands.
 _WAIT = "."      # discovered, not yet fetching (scheduler hold)

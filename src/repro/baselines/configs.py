@@ -27,7 +27,7 @@ configuration and returns its metrics.  The names:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
 from repro.baselines.lower_bound import cpu_bound_load, network_bound_load
 from repro.baselines.polaris import polaris_load
@@ -38,6 +38,7 @@ from repro.core.push_policy import PushPolicy
 from repro.core.resolver import ResolutionStrategy
 from repro.core.scheduler import FetchAsapScheduler, VroomScheduler
 from repro.core.server import first_party_domains, vroom_servers
+from repro.net.faults import FaultPlan, ResiliencePolicy
 from repro.net.http import HttpVersion, NetworkConfig
 from repro.net.link import StreamScheduling
 from repro.pages.page import PageBlueprint, PageSnapshot
@@ -58,12 +59,30 @@ def run_config(
     cache: Optional[BrowserCache] = None,
     device: str = "nexus6",
     user: str = "user0",
+    fault_plan: Optional[FaultPlan] = None,
+    resilience: Optional[ResiliencePolicy] = None,
 ) -> LoadMetrics:
-    """Load ``snapshot`` under the named configuration."""
+    """Load ``snapshot`` under the named configuration.
+
+    ``fault_plan``/``resilience`` apply to the transport configurations
+    (http1/http2/vroom variants and polaris); the CPU- and network-bound
+    lower bounds and the hybrid study build their own transports and run
+    fault-free.  Both default to None, which is bit-identical to the
+    pre-resilience behaviour.
+    """
     when = snapshot.stamp.when_hours
     browser = BrowserConfig(
         device=device, user=user, when_hours=when, cache=cache
     )
+
+    def _tune(config: NetworkConfig) -> NetworkConfig:
+        if fault_plan is not None:
+            config.fault_plan = fault_plan
+        if resilience is not None:
+            config.request_timeout = resilience.request_timeout
+            config.max_retries = resilience.max_retries
+            config.retry_backoff = resilience.retry_backoff
+        return config
 
     def vroom_cfg(
         strategy=ResolutionStrategy.VROOM,
@@ -87,18 +106,24 @@ def run_config(
         return load_page(
             snapshot,
             servers,
-            NetworkConfig(h2_scheduling=scheduling),
+            _tune(NetworkConfig(h2_scheduling=scheduling)),
             browser,
             policy=policy_factory(),
         )
 
     if name == "http1":
         return load_page(
-            snapshot, build_servers(store), _plain(HttpVersion.HTTP1), browser
+            snapshot,
+            build_servers(store),
+            _tune(_plain(HttpVersion.HTTP1)),
+            browser,
         )
     if name in ("http2", "no-push-no-hints"):
         return load_page(
-            snapshot, build_servers(store), _plain(HttpVersion.HTTP2), browser
+            snapshot,
+            build_servers(store),
+            _tune(_plain(HttpVersion.HTTP2)),
+            browser,
         )
     if name == "push-all-static":
         return vroom_cfg(
@@ -155,7 +180,14 @@ def run_config(
 
         return hybrid_load(page, snapshot, store)
     if name == "polaris":
-        return polaris_load(page, snapshot, build_servers(store))
+        return polaris_load(
+            page,
+            snapshot,
+            build_servers(store),
+            net_config=_tune(
+                NetworkConfig(h2_scheduling=StreamScheduling.WEIGHTED)
+            ),
+        )
     if name == "cpu-bound":
         return cpu_bound_load(
             snapshot, build_servers(store), when_hours=when, device=device

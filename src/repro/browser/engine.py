@@ -10,7 +10,7 @@ policies supplied by other packages).  Its output is a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional
 
 from repro.browser.cache import BrowserCache
 from repro.browser.cookies import CookieJar
@@ -26,12 +26,7 @@ from repro.net.http import Fetch, HttpClient, NetworkConfig, PushedResponse
 from repro.net.origin import OriginServer
 from repro.net.simulator import Simulator
 from repro.pages.page import PageSnapshot
-from repro.pages.resources import (
-    PROCESSABLE_TYPES,
-    Priority,
-    Resource,
-    ResourceType,
-)
+from repro.pages.resources import PROCESSABLE_TYPES, Resource, ResourceType
 
 #: Network priority by role; lower sorts earlier on HTTP/1.1 queues and
 #: weighs heavier in HTTP/2 weighted scheduling.
@@ -79,6 +74,10 @@ class FetchPolicy:
 
     def on_fetched(self, url: str) -> None:
         """Hook for staged policies; default needs no bookkeeping."""
+
+    def on_fetch_failed(self, url: str) -> None:
+        """Hook for resilience-aware policies: ``url``'s fetch died after
+        exhausting its retries.  Default needs no bookkeeping."""
 
     def ensure_fetch(self, url: str) -> None:
         """The parser needs ``url`` right now; make sure it is in flight."""
@@ -129,6 +128,12 @@ class _ResourceState:
     fetched: bool = False
     processed: bool = False
     decoded: bool = False
+    #: Terminal fetch failure while locally needed: waiters were resumed
+    #: without the bytes and the resource's obligations are written off.
+    failed: bool = False
+    #: A speculative hint prefetch died; the next local reference may
+    #: re-request the URL through the vanilla discovery path.
+    refetch_armed: bool = False
     locally_referenced: bool = False
     _css_queued: bool = False
     _decode_queued: bool = False
@@ -177,6 +182,9 @@ class PageLoadEngine:
         self.onload_at: Optional[float] = None
         self._render_events: List = []
         self._finished = False
+        #: True once any resource has terminally failed; gates the
+        #: orphan walk so fault-free loads pay nothing for it.
+        self._any_failed = False
         self.wasted_bytes = 0.0
 
     # -- CPU helpers -------------------------------------------------------
@@ -235,6 +243,12 @@ class PageLoadEngine:
             state.timeline.discovered_from = from_url
         if via in LOCAL_VIAS and not state.locally_referenced:
             state.locally_referenced = True
+            if state.refetch_armed and not state.fetch_requested:
+                # An earlier hint prefetch failed terminally; the page now
+                # actually references the URL, so fall back to the vanilla
+                # fetch-on-discovery path.
+                state.refetch_armed = False
+                self.policy.on_discovered(url, via)
             if state.fetched and state.resource is not None:
                 self._on_resource_available(state.resource)
         if fresh:
@@ -262,17 +276,63 @@ class PageLoadEngine:
             )
             return
         self.cookies.cookie_for(url.partition("/")[0])
+        # A fetch of a URL the page has not referenced yet is a speculative
+        # hint prefetch; fault plans can target those specifically.
+        is_hint = (
+            not state.locally_referenced
+            and timeline.discovered_via == "hint"
+        )
         self.client.fetch(
             url,
             priority=priority,
+            is_hint=is_hint,
             on_headers=self._headers_arrived,
             on_complete=lambda fetch: self._fetched(url, fetch=fetch),
+            on_error=lambda fetch: self._fetch_failed(url, fetch),
         )
 
     def _headers_arrived(self, fetch: Fetch) -> None:
+        if fetch.response is not None and fetch.response.error:
+            # Injected 5xx headers carry no hints and no usable metadata;
+            # the client retries (or fails) the exchange on completion.
+            return
         state = self.state_of(fetch.url)
         state.timeline.headers_at = self.sim.now
         self.policy.on_headers(fetch)
+
+    def _fetch_failed(self, url: str, fetch: Fetch) -> None:
+        """Terminal transport failure (all retries exhausted) for ``url``.
+
+        A pure hint prefetch degrades gracefully: the load falls back to
+        vanilla local discovery, re-requesting the bytes if and when the
+        page references the URL.  A locally needed resource instead fails
+        like a browser error event — its waiters resume without the bytes
+        and its obligations are written off, so onload still fires.
+        """
+        state = self.state_of(url)
+        if state.fetched or state.failed:
+            return
+        state.timeline.failed = True
+        self.client.forget(url)
+        locally_needed = (
+            state.locally_referenced
+            or state.fetch_waiters
+            or state.process_waiters
+        )
+        if locally_needed:
+            state.failed = True
+            self._any_failed = True
+            waiters, state.fetch_waiters = state.fetch_waiters, []
+            for callback in waiters:
+                callback()
+            pwaiters, state.process_waiters = state.process_waiters, []
+            for callback in pwaiters:
+                callback()
+        else:
+            state.fetch_requested = False
+            state.refetch_armed = True
+        self.policy.on_fetch_failed(url)
+        self._check_done()
 
     def _push_arrived(self, push: PushedResponse) -> None:
         """A pushed response started arriving; treat it as discovery."""
@@ -389,6 +449,11 @@ class PageLoadEngine:
         if state.processed:
             on_done()
             return
+        if state.failed and not state.fetched:
+            # The script never arrived (terminal fetch failure): nothing
+            # to execute, and its children stay undiscovered.
+            on_done()
+            return
 
         def run() -> None:
             # Children are inserted during (synchronous) execution, so they
@@ -441,6 +506,10 @@ class PageLoadEngine:
             if state.fetched:
                 self.sim.call_soon(callback)
                 return
+            if state.failed:
+                # The document's bytes will never arrive; freeze its parse
+                # (its obligations are written off by the failure).
+                return
             fetch = state.fetch_obj or self.client.fetches.get(document.url)
             if fetch is None or fetch.completed_at is not None:
                 state.fetch_waiters.append(callback)
@@ -451,7 +520,7 @@ class PageLoadEngine:
             child: Resource, callback: Callable[[], None]
         ) -> None:
             state = self.state_of(child.url)
-            if state.fetched:
+            if state.fetched or state.failed:
                 self.sim.call_soon(callback)
                 return
             self.policy.ensure_fetch(child.url)
@@ -464,6 +533,7 @@ class PageLoadEngine:
                 sheet
                 for sheet in sheets
                 if not self.state_of(sheet.url).processed
+                and not self.state_of(sheet.url).failed
             ]
             if not pending:
                 self.sim.call_soon(callback)
@@ -590,6 +660,20 @@ class PageLoadEngine:
 
     # -- completion ------------------------------------------------------------
 
+    def _orphaned(self, resource) -> bool:
+        """True if ``resource`` can never be locally referenced: an
+        ancestor terminally failed, so the parse/execution that would
+        reference it will never run.  Hint/push prefetches of such
+        resources must not hold onload open — their bytes are waste, not
+        obligations."""
+        node = resource.parent
+        while node is not None:
+            state = self._states.get(node.url)
+            if state is not None and state.failed:
+                return True
+            node = node.parent
+        return False
+
     def _pending_obligations(self) -> List[str]:
         pending: List[str] = []
         if not self._root_parse_done:
@@ -602,6 +686,15 @@ class PageLoadEngine:
                 continue
             timeline = state.timeline
             if timeline.discovered_at is None:
+                continue
+            if state.failed:
+                # Terminal fetch failure: obligations written off.
+                continue
+            if (
+                self._any_failed
+                and not state.locally_referenced
+                and self._orphaned(resource)
+            ):
                 continue
             if not state.fetched:
                 pending.append(f"fetch:{url}")
@@ -640,6 +733,14 @@ class PageLoadEngine:
             if resource is None:
                 continue
             if state.timeline.discovered_at is None:
+                continue
+            if state.failed:
+                continue
+            if (
+                self._any_failed
+                and not state.locally_referenced
+                and self._orphaned(resource)
+            ):
                 continue
             if not state.fetched:
                 return
@@ -742,6 +843,12 @@ class PageLoadEngine:
             cpu_busy_time=self.cpu.busy_time,
             bytes_fetched=self.client.link.bytes_delivered,
             wasted_bytes=self.wasted_bytes,
+            retries=self.client.retries,
+            timeouts=self.client.timeouts,
+            connection_drops=self.client.drops,
+            error_responses=self.client.error_responses,
+            failed_fetches=self.client.failures,
+            fault_wasted_bytes=self.client.fault_wasted_bytes,
             link_busy_time=self.client.link.busy_time,
             link_capacity_bps=self.net_config.downlink_bps,
             timelines=timelines,

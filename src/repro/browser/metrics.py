@@ -33,6 +33,10 @@ class ResourceTimeline:
     rendered_at: Optional[float] = None
     from_cache: bool = False
     pushed: bool = False
+    #: At least one fetch of this URL failed terminally (all retries
+    #: exhausted).  A later refetch may still succeed — ``fetched_at``
+    #: records the recovery if so.
+    failed: bool = False
     #: True when the page actually references this URL (false for
     #: extraneous hint fetches — server false positives).
     referenced: bool = True
@@ -69,6 +73,16 @@ class LoadMetrics:
     link_busy_time: float = 0.0
     #: Downlink capacity of the access link (bits per second).
     link_capacity_bps: float = 0.0
+    #: Resilience counters (all zero on a fault-free load): request
+    #: re-dispatches, per-attempt deadline expiries, mid-body connection
+    #: drops, injected 5xx responses, terminal fetch failures, and bytes
+    #: delivered for attempts that ultimately failed.
+    retries: int = 0
+    timeouts: int = 0
+    connection_drops: int = 0
+    error_responses: int = 0
+    failed_fetches: int = 0
+    fault_wasted_bytes: float = 0.0
     timelines: Dict[str, ResourceTimeline] = field(default_factory=dict)
     critical_path: List["CriticalHop"] = field(default_factory=list)
     #: Optional (time, cpu_busy, active_streams) samples; populated when

@@ -10,6 +10,8 @@ Commands
               its sweeps out over processes)
 ``sweep``     run a corpus × configs sweep on the parallel engine and
               print per-config medians plus throughput
+``resilience`` sweep hint-fetch fault intensity × configs and print PLT
+              medians plus retry/timeout/failure counters
 ``configs``   list the available named configurations
 ``profiles``  list the available network profiles
 """
@@ -259,6 +261,49 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_resilience(args) -> int:
+    """Fault-injection sweep: intensity × configs, PLT plus counters."""
+    import json
+
+    from repro.analysis.stats import median
+    from repro.experiments.resilience import resilience_sweep
+    from repro.net.faults import ResiliencePolicy
+
+    result = resilience_sweep(
+        count=args.count,
+        rates=tuple(args.rates),
+        configs=tuple(args.configs),
+        resilience=ResiliencePolicy(
+            request_timeout=args.timeout,
+            max_retries=args.retries,
+            retry_backoff=args.backoff,
+        ),
+        seed=args.seed,
+        workers=args.workers,
+    )
+    print(
+        f"{'rate':>5} {'config':<18} {'median PLT':>11} {'retries':>8} "
+        f"{'timeouts':>9} {'drops':>6} {'5xx':>5} {'failed':>7} "
+        f"{'waste':>8}"
+    )
+    for rate, rows in result.items():
+        for config, row in rows.items():
+            print(
+                f"{rate:4.0%} {config:<18} "
+                f"{median(row['plt']):10.2f}s "
+                f"{row['retries']:8d} {row['timeouts']:9d} "
+                f"{row['connection_drops']:6d} {row['error_responses']:5d} "
+                f"{row['failed_fetches']:7d} "
+                f"{row['fault_wasted_bytes'] / 1e3:6.0f}KB"
+            )
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"resilience report written to {args.report}")
+    return 0
+
+
 def cmd_configs(_args) -> int:
     for name in CONFIG_NAMES:
         print(name)
@@ -354,6 +399,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the machine-readable perf report (JSON) here",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    resilience = commands.add_parser(
+        "resilience", help="fault-injection resilience sweep"
+    )
+    resilience.add_argument("--count", type=int, default=6)
+    resilience.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.05, 0.10, 0.20],
+        help="hint-fetch failure probabilities to sweep",
+    )
+    resilience.add_argument(
+        "--configs",
+        nargs="+",
+        default=["http2", "vroom"],
+        choices=CONFIG_NAMES,
+    )
+    resilience.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-attempt request timeout in seconds (0 disables)",
+    )
+    resilience.add_argument(
+        "--retries", type=int, default=2, help="retries per failed fetch"
+    )
+    resilience.add_argument(
+        "--backoff",
+        type=float,
+        default=0.25,
+        help="first retry delay in seconds (doubles per retry)",
+    )
+    resilience.add_argument("--seed", type=int, default=0)
+    resilience.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (0 or omitted = one per CPU)",
+    )
+    resilience.add_argument(
+        "--report",
+        default=None,
+        help="write the full sweep result (JSON) here",
+    )
+    resilience.set_defaults(func=cmd_resilience)
 
     commands.add_parser(
         "configs", help="list named configurations"

@@ -20,9 +20,9 @@ are saved, and how much stable-set coverage the reuse gives up.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Dict, List, Sequence, Set
 
-from repro.core.offline import OfflineResolver, StableSet
+from repro.core.offline import OfflineResolver
 from repro.pages.page import PageBlueprint
 
 
@@ -42,7 +42,9 @@ def _shared_names(a: Set[str], b: Set[str]) -> float:
     concrete names differ (e.g. ``land3_css0`` vs ``land7_css0``), so we
     compare names with their page prefix stripped.
     """
-    strip = lambda names: {name.split("_", 1)[-1] for name in names}
+    def strip(names):
+        return {name.split("_", 1)[-1] for name in names}
+
     sa, sb = strip(a), strip(b)
     union = sa | sb
     if not union:

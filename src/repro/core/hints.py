@@ -17,7 +17,7 @@ each hint back to the response that delivered it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from repro.pages.resources import Priority
 

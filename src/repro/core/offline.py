@@ -14,7 +14,7 @@ than per device model, using emulation (Sec 4.1.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.calibration import (
     OFFLINE_LOAD_PERIOD_HOURS,

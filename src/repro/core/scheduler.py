@@ -17,7 +17,7 @@ the browser (the paper's "future work" variant).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.browser.engine import FetchPolicy, network_priority
 from repro.core.hints import DependencyHint, HintBundle
@@ -46,8 +46,16 @@ class VroomScheduler(FetchPolicy):
         self._seen_hints: Set[str] = set()
         self._fetched: Set[str] = set()
         self._requested: Set[str] = set()
+        self._failed: Set[str] = set()
         self._stage = Priority.PRELOAD
         self._stage_check_pending = False
+        #: Stage progression is gated until the root's headers have been
+        #: processed: before that the preload hint list is empty, so
+        #: ``_stage_complete`` would be vacuously true and the very first
+        #: ``on_fetched`` could sail past PRELOAD with the hints still in
+        #: flight.  The root settling any other way (cache hit, fetched,
+        #: terminal failure) opens the gate too — no hints are coming.
+        self._root_settled = False
 
     # -- FetchPolicy interface ---------------------------------------------------
 
@@ -64,6 +72,8 @@ class VroomScheduler(FetchPolicy):
 
     def on_headers(self, fetch: Fetch) -> None:
         """Dependency hints ride response headers of HTML objects."""
+        if fetch.url == self.engine.snapshot.root.url:
+            self._settle_root()
         response = fetch.response
         if response is None or not response.hints:
             return
@@ -84,10 +94,31 @@ class VroomScheduler(FetchPolicy):
         self._pump()
 
     def on_fetched(self, url: str) -> None:
+        if url == self.engine.snapshot.root.url:
+            self._settle_root()
         self._fetched.add(url)
         self._schedule_stage_check()
 
+    def on_fetch_failed(self, url: str) -> None:
+        """A failed/timed-out fetch counts as settled: stages never wedge
+        on a URL whose bytes will not arrive.  Dropping it from the
+        requested set lets a later local reference re-request it, while
+        ``_failed`` keeps ``_pump`` from re-issuing the same speculative
+        hint fetch — degradation falls back to local discovery instead of
+        hammering a dead prefetch."""
+        if url == self.engine.snapshot.root.url:
+            self._settle_root()
+        self._requested.discard(url)
+        self._fetched.add(url)
+        self._failed.add(url)
+        self._schedule_stage_check()
+
     # -- staging ----------------------------------------------------------------
+
+    def _settle_root(self) -> None:
+        if not self._root_settled:
+            self._root_settled = True
+            self._schedule_stage_check()
 
     def _request(self, url: str, priority: float) -> None:
         if url in self._requested:
@@ -104,6 +135,8 @@ class VroomScheduler(FetchPolicy):
             stages.append(Priority.UNIMPORTANT)
         for stage in stages:
             for url in self._hinted[stage]:
+                if url in self._failed:
+                    continue
                 self._request(url, _STAGE_NET_PRIORITY[stage])
 
     def _stage_complete(self, stage: Priority) -> bool:
@@ -122,6 +155,8 @@ class VroomScheduler(FetchPolicy):
 
     def _stage_check(self) -> None:
         self._stage_check_pending = False
+        if not self._root_settled:
+            return
         advanced = False
         if self._stage is Priority.PRELOAD and self._stage_complete(
             Priority.PRELOAD
@@ -157,28 +192,30 @@ class TwoStageScheduler(VroomScheduler):
 
     def on_headers(self, fetch: Fetch) -> None:
         response = fetch.response
-        if response is None or not response.hints:
-            return
-        promoted = []
-        for hint in _as_bundle(fetch.url, response.hints):
-            if hint.priority is Priority.SEMI_IMPORTANT:
-                hint = DependencyHint(
-                    url=hint.url,
-                    priority=Priority.PRELOAD,
-                    order=hint.order + 5_000,  # after true preloads
-                    size_estimate=hint.size_estimate,
-                )
-            promoted.append(hint)
-        response = type(response)(
-            url=response.url,
-            size=response.size,
-            think_time=response.think_time,
-            hints=promoted,
-            pushes=response.pushes,
-            meta=response.meta,
-            cacheable=response.cacheable,
-        )
-        fetch.response = response
+        if response is not None and response.hints:
+            promoted = []
+            for hint in _as_bundle(fetch.url, response.hints):
+                if hint.priority is Priority.SEMI_IMPORTANT:
+                    hint = DependencyHint(
+                        url=hint.url,
+                        priority=Priority.PRELOAD,
+                        order=hint.order + 5_000,  # after true preloads
+                        size_estimate=hint.size_estimate,
+                    )
+                promoted.append(hint)
+            response = type(response)(
+                url=response.url,
+                size=response.size,
+                think_time=response.think_time,
+                hints=promoted,
+                pushes=response.pushes,
+                meta=response.meta,
+                cacheable=response.cacheable,
+                error=response.error,
+            )
+            fetch.response = response
+        # Always defer to the base class: hintless headers still settle
+        # the root and open the stage gate.
         super().on_headers(fetch)
 
 

@@ -10,7 +10,7 @@ scenario); every other domain behaves as a plain HTTP/2 server.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.calibration import VROOM_ONLINE_PARSE_OVERHEAD
 from repro.core.hints import HintBundle

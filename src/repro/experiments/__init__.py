@@ -10,12 +10,14 @@ from repro.experiments.parallel import (
     run_sweep,
     set_default_workers,
 )
+from repro.experiments.resilience import resilience_sweep
 from repro.experiments import figures
 
 __all__ = [
     "ExperimentRun",
     "SweepPerf",
     "load_once",
+    "resilience_sweep",
     "run_sweep",
     "set_default_workers",
     "sweep_configs",

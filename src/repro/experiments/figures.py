@@ -9,12 +9,12 @@ a benchmark session; pass larger counts for fuller CDFs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.analysis.accuracy import predictable_share, score_strategy
 from repro.analysis.device_overlap import iou_distributions
 from repro.analysis.persistence import persistence_distributions
-from repro.analysis.stats import Cdf, median, quartiles
+from repro.analysis.stats import median, quartiles
 from repro.baselines.configs import run_config
 from repro.browser.cache import BrowserCache
 from repro.calibration import DEFAULT_EVAL_HOUR
@@ -27,8 +27,6 @@ from repro.pages.corpus import (
     news_sports_corpus,
 )
 from repro.pages.dynamics import LoadStamp
-from repro.pages.page import PageBlueprint
-from repro.pages.resources import Priority
 from repro.replay.recorder import record_snapshot
 
 

@@ -26,7 +26,7 @@ from repro.net.http import HttpVersion, NetworkConfig
 from repro.net.link import StreamScheduling
 from repro.pages.corpus import news_sports_corpus
 from repro.pages.dynamics import LoadStamp
-from repro.replay.recorder import record_snapshot
+from repro.replay.cache import materialize_cached
 from repro.replay.replayer import build_servers
 
 LOSS_RATES: Sequence[float] = (0.0, 0.01, 0.02)
@@ -44,8 +44,9 @@ def loss_sweep(
             "http1": [], "http2": [], "vroom_h2": [], "vroom_h1": [],
         }
         for page in news_sports_corpus(count):
-            snapshot = page.materialize(stamp)
-            store = record_snapshot(snapshot)
+            # The snapshot is loss-independent: the session cache shares
+            # one (snapshot, store) pair across all loss rates.
+            snapshot, store = materialize_cached(page, stamp)
             browser = BrowserConfig(when_hours=stamp.when_hours)
             rows["http1"].append(
                 load_page(

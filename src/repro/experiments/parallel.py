@@ -123,15 +123,24 @@ def sweep_jobs(
 #: submission only ships a few integers instead of the snapshot tree.
 _WORKER_WORK: List[WorkItem] = []
 
+#: Extra keyword arguments forwarded to every ``run_config`` call (e.g. a
+#: fault plan and resilience policy for the resilience study).
+_WORKER_KWARGS: dict = {}
 
-def _init_worker(work: List[WorkItem]) -> None:
-    global _WORKER_WORK
+
+def _init_worker(
+    work: List[WorkItem], config_kwargs: Optional[dict] = None
+) -> None:
+    global _WORKER_WORK, _WORKER_KWARGS
     _WORKER_WORK = work
+    _WORKER_KWARGS = dict(config_kwargs) if config_kwargs else {}
 
 
 def _run_job(job: SweepJob) -> Tuple[int, LoadMetrics]:
     page, snapshot, store = _WORKER_WORK[job.page_index]
-    return job.index, run_config(job.config, page, snapshot, store)
+    return job.index, run_config(
+        job.config, page, snapshot, store, **_WORKER_KWARGS
+    )
 
 
 # -- parent side -------------------------------------------------------------
@@ -140,21 +149,27 @@ def run_metrics_grid(
     work: List[WorkItem],
     configs: Sequence[str],
     workers: int,
+    config_kwargs: Optional[dict] = None,
 ) -> List[LoadMetrics]:
     """Run every (page, config) job; results in job-index order."""
     jobs = sweep_jobs(len(work), configs)
     results: List[Optional[LoadMetrics]] = [None] * len(jobs)
     if workers <= 1 or len(jobs) <= 1:
-        _init_worker(work)
-        for job in jobs:
-            index, metrics = _run_job(job)
-            results[index] = metrics
+        _init_worker(work, config_kwargs)
+        try:
+            for job in jobs:
+                index, metrics = _run_job(job)
+                results[index] = metrics
+        finally:
+            # Release the work table: leaving it populated would pin every
+            # snapshot tree in this process for its remaining lifetime.
+            _init_worker([], None)
     else:
         chunksize = max(1, len(jobs) // (workers * 4))
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(work,),
+            initargs=(work, config_kwargs),
         ) as pool:
             for index, metrics in pool.map(
                 _run_job, jobs, chunksize=chunksize
@@ -174,12 +189,15 @@ def run_sweep(
     ] = None,
     workers: Optional[int] = None,
     cache: Optional[SnapshotCache] = None,
+    config_kwargs: Optional[dict] = None,
 ) -> Tuple["ExperimentRun", SweepPerf]:
     """Sweep every page under every config; return the run plus its perf.
 
     ``workers=None`` uses one worker per CPU; ``workers=1`` runs inline.
     ``cache=None`` uses the session-wide snapshot cache (pass a private
     :class:`SnapshotCache` to isolate, e.g. in tests).
+    ``config_kwargs`` (picklable) is forwarded to every ``run_config``
+    call — e.g. ``{"fault_plan": ..., "resilience": ...}``.
     """
     from repro.experiments.harness import ExperimentRun
 
@@ -200,7 +218,7 @@ def run_sweep(
         snapshot, store = materialize_cached(page, stamp, active_cache)
         work.append((page, snapshot, store))
 
-    results = run_metrics_grid(work, configs, workers)
+    results = run_metrics_grid(work, configs, workers, config_kwargs)
 
     run = ExperimentRun(metric=metric_name)
     cursor = 0

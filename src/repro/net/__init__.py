@@ -10,6 +10,13 @@ scheduling mode (fair, FIFO, or priority-weighted).
 from repro.net.simulator import Simulator
 from repro.net.link import AccessLink, StreamHandle, StreamScheduling
 from repro.net.origin import OriginServer, Response
+from repro.net.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    ResiliencePolicy,
+    hint_fault_plan,
+)
 from repro.net.http import (
     Fetch,
     HttpClient,
@@ -25,6 +32,11 @@ __all__ = [
     "StreamScheduling",
     "OriginServer",
     "Response",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "ResiliencePolicy",
+    "hint_fault_plan",
     "Fetch",
     "HttpClient",
     "HttpVersion",

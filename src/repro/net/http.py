@@ -26,6 +26,7 @@ from repro.calibration import (
     HINT_HEADER_BYTES_PER_URL,
     TLS_HANDSHAKE_RTTS,
 )
+from repro.net.faults import FaultKind, FaultPlan
 from repro.net.link import AccessLink, StreamScheduling
 from repro.net.origin import OriginServer, Response
 from repro.net.simulator import Simulator
@@ -55,6 +56,16 @@ class NetworkConfig:
     zero_latency: bool = False
     #: Per-packet loss probability on the access link (0 = clean).
     loss_rate: float = 0.0
+    #: Injected-failure plan, shared with every origin server (None and
+    #: an empty plan are both "clean": no rolls happen at all).
+    fault_plan: Optional[FaultPlan] = None
+    #: Per-attempt deadline from request send to last body byte.
+    #: Zero disables timeouts (the historical behaviour).
+    request_timeout: float = 0.0
+    #: Re-dispatches after a failed attempt before the fetch fails for good.
+    max_retries: int = 0
+    #: First retry delay in seconds; doubles with each further retry.
+    retry_backoff: float = 0.25
 
     def rtt_to(self, server: OriginServer) -> float:
         if self.zero_latency:
@@ -70,29 +81,55 @@ class Fetch:
     domain: str
     priority: float = 1.0
     is_push: bool = False
+    #: Speculative hint-driven prefetch (vs. a locally-needed fetch).
+    #: Fault plans can target these specifically.
+    is_hint: bool = False
     requested_at: float = 0.0
     headers_at: Optional[float] = None
     completed_at: Optional[float] = None
     response: Optional[Response] = None
+    #: 1-based attempt counter; each retry re-dispatches with the next one.
+    attempt: int = 1
+    #: Terminal failure: every attempt (1 + max_retries) was lost.
+    failed: bool = False
     on_headers: Optional[Callable[["Fetch"], None]] = None
     on_complete: Optional[Callable[["Fetch"], None]] = None
-    #: Registered before completion: (body_offset, callback) watch points.
-    _pending_watches: List = field(default_factory=list)
+    #: Invoked exactly once, on terminal failure.
+    on_error: Optional[Callable[["Fetch"], None]] = None
+    #: Not-yet-fired (body_offset, callback) watch points.  Kept on the
+    #: fetch (not just the stream) and re-armed on every response attempt,
+    #: so a retry never loses scanner callbacks.
+    _body_watches: List = field(default_factory=list)
     _stream = None
+    _header_bytes = float(RESPONSE_HEADER_BYTES)
+    _timeout_event = None
+    _drop_planned = False
 
     def watch_body_offset(self, offset: float, callback: Callable[[], None]) -> None:
         """Fire ``callback`` when ``offset`` bytes of the *body* arrived."""
+        entry = (offset, callback)
+        self._body_watches.append(entry)
         if self._stream is not None:
-            self._stream.watch_offset(
-                min(offset + RESPONSE_HEADER_BYTES, self._stream.bytes_total),
-                callback,
-            )
-        else:
-            self._pending_watches.append((offset, callback))
+            self._arm_watch(entry)
+
+    def _arm_watch(self, entry) -> None:
+        stream = self._stream
+        offset, callback = entry
+
+        def fire() -> None:
+            try:
+                self._body_watches.remove(entry)
+            except ValueError:
+                pass
+            callback()
+
+        stream.watch_offset(
+            min(offset + self._header_bytes, stream.bytes_total), fire
+        )
 
     @property
     def in_flight(self) -> bool:
-        return self.completed_at is None
+        return self.completed_at is None and not self.failed
 
 
 class PushedResponse(Fetch):
@@ -147,6 +184,20 @@ class HttpClient:
         self.on_push: Optional[Callable[[PushedResponse], None]] = None
         #: Tell servers whether a URL is already cached (skip pushing it).
         self.is_cached: Callable[[str], bool] = lambda url: False
+        #: Resilience counters, folded into LoadMetrics by the engine.
+        self.retries = 0
+        self.timeouts = 0
+        self.drops = 0
+        self.failures = 0
+        self.error_responses = 0
+        #: Body/header bytes delivered for attempts that ultimately failed
+        #: (injected 5xx bodies, partial transfers cut by drops/timeouts).
+        self.fault_wasted_bytes = 0.0
+        plan = self.config.fault_plan
+        if plan is not None and plan.rules:
+            for server in servers.values():
+                if server.fault_plan is None:
+                    server.fault_plan = plan
 
     # -- public API ----------------------------------------------------------
 
@@ -155,12 +206,20 @@ class HttpClient:
         url: str,
         *,
         priority: float = 1.0,
+        is_hint: bool = False,
         on_headers: Optional[Callable[[Fetch], None]] = None,
         on_complete: Optional[Callable[[Fetch], None]] = None,
+        on_error: Optional[Callable[[Fetch], None]] = None,
     ) -> Fetch:
         """Request ``url``; duplicate in-flight requests are coalesced."""
         existing = self.fetches.get(url)
         if existing is not None:
+            if existing.failed:
+                # Callers joining a dead exchange hear about it at once;
+                # re-fetching requires forget() first.
+                if on_error is not None:
+                    self.sim.call_soon(lambda: on_error(existing))
+                return existing
             self._attach(existing, on_headers, on_complete)
             return existing
         domain = url.partition("/")[0]
@@ -168,13 +227,21 @@ class HttpClient:
             url=url,
             domain=domain,
             priority=priority,
+            is_hint=is_hint,
             requested_at=self.sim.now,
             on_headers=on_headers,
             on_complete=on_complete,
+            on_error=on_error,
         )
         self.fetches[url] = fetch
         self._after_dns(domain, lambda: self._dispatch(fetch))
         return fetch
+
+    def forget(self, url: str) -> None:
+        """Drop a terminally-failed exchange so the URL can be re-fetched."""
+        fetch = self.fetches.get(url)
+        if fetch is not None and fetch.failed:
+            del self.fetches[url]
 
     def preconnect(self, domain: str) -> None:
         """Resolve DNS and warm a connection to ``domain`` ahead of use.
@@ -315,10 +382,36 @@ class HttpClient:
             and not self.config.zero_latency
         ):
             uplink += HTTP1_REQUEST_OVERHEAD
-        response = server.respond(fetch.url, is_push=fetch.is_push)
+        fault = None
+        plan = self.config.fault_plan
+        if plan is not None and not fetch.is_push:
+            fault = plan.transport_fault(
+                fetch.url,
+                fetch.domain,
+                now=self.sim.now,
+                attempt=fetch.attempt,
+                is_hint=fetch.is_hint,
+            )
+        if fault is FaultKind.SLOW_START_RESET:
+            # A loss burst collapses the window; the exchange still runs.
+            conn.channel.reset_window()
+            fault = None
+        self._arm_timeout(conn, fetch)
+        response = server.respond(
+            fetch.url,
+            is_push=fetch.is_push,
+            now=self.sim.now,
+            attempt=fetch.attempt,
+            is_hint=fetch.is_hint,
+        )
         if response is None:
             raise KeyError(f"{fetch.domain} has no content for {fetch.url!r}")
         fetch.response = response
+        if fault is FaultKind.STALL:
+            # The response vanishes in the network: nothing arrives, and
+            # only the request timeout (if armed) ends the exchange.
+            return
+        fetch._drop_planned = fault is FaultKind.CONNECTION_DROP
         arrival = uplink + rtt / 2.0 + response.think_time + rtt / 2.0
         if fetch.is_push:
             # A pushed response skips the request leg entirely.
@@ -340,14 +433,21 @@ class HttpClient:
             weight=1.0 / max(fetch.priority, 0.05),
         )
         fetch._stream = stream
+        fetch._header_bytes = float(header_bytes)
         stream.watch_offset(
             min(header_bytes, total), lambda: self._headers_arrived(fetch)
         )
-        for offset, callback in fetch._pending_watches:
-            stream.watch_offset(
-                min(offset + header_bytes, total), callback
+        for entry in list(fetch._body_watches):
+            fetch._arm_watch(entry)
+        if fetch._drop_planned:
+            fraction = self.config.fault_plan.drop_fraction(
+                fetch.url, fetch.attempt
             )
-        fetch._pending_watches = []
+            drop_at = min(max(1.0, fraction * total), max(0.0, total - 1.0))
+            stream.watch_offset(
+                drop_at,
+                lambda: self._connection_dropped(conn, fetch, stream),
+            )
         # Server push rides the same connection, after this response starts.
         if (
             self.config.push_enabled
@@ -380,6 +480,19 @@ class HttpClient:
             fetch.on_headers(fetch)
 
     def _response_done(self, conn: _Connection, fetch: Fetch) -> None:
+        if fetch.failed or fetch.completed_at is not None:
+            return
+        self._cancel_timeout(fetch)
+        response = fetch.response
+        if response is not None and response.error and not fetch.is_push:
+            # Injected 5xx: the body arrived but it isn't the content.
+            self.error_responses += 1
+            if fetch._stream is not None:
+                self.fault_wasted_bytes += fetch._stream.bytes_total
+            if self.config.version is HttpVersion.HTTP1:
+                self._h1_connection_free(conn)
+            self._retry_or_fail(fetch)
+            return
         if fetch.headers_at is None:
             self._headers_arrived(fetch)
         fetch.completed_at = self.sim.now
@@ -387,6 +500,74 @@ class HttpClient:
             self._h1_connection_free(conn)
         if fetch.on_complete is not None:
             fetch.on_complete(fetch)
+
+    # -- timeouts, faults, retries -------------------------------------------
+
+    def _arm_timeout(self, conn: _Connection, fetch: Fetch) -> None:
+        """Per-attempt deadline covering think time and the full body."""
+        if fetch.is_push or self.config.request_timeout <= 0:
+            return
+        fetch._timeout_event = self.sim.schedule(
+            self.config.request_timeout, lambda: self._timed_out(conn, fetch)
+        )
+
+    def _cancel_timeout(self, fetch: Fetch) -> None:
+        if fetch._timeout_event is not None:
+            fetch._timeout_event.cancel()
+            fetch._timeout_event = None
+
+    def _timed_out(self, conn: _Connection, fetch: Fetch) -> None:
+        fetch._timeout_event = None
+        if fetch.failed or fetch.completed_at is not None:
+            return
+        self.timeouts += 1
+        stream = fetch._stream
+        if stream is not None and not stream.done:
+            self.fault_wasted_bytes += stream.bytes_done
+        if self.config.version is HttpVersion.HTTP1:
+            self._h1_connection_free(conn)
+        self._retry_or_fail(fetch)
+
+    def _connection_dropped(
+        self, conn: _Connection, fetch: Fetch, stream
+    ) -> None:
+        if (
+            fetch._stream is not stream
+            or fetch.failed
+            or fetch.completed_at is not None
+        ):
+            return
+        self.drops += 1
+        self.fault_wasted_bytes += stream.bytes_done
+        self._cancel_timeout(fetch)
+        if self.config.version is HttpVersion.HTTP1:
+            self._h1_connection_free(conn)
+        self._retry_or_fail(fetch)
+
+    def _abort_attempt(self, fetch: Fetch) -> None:
+        """Tear down the current attempt's timer and stream, keeping the
+        fetch's unfired body watches for the next attempt (if any)."""
+        self._cancel_timeout(fetch)
+        stream, fetch._stream = fetch._stream, None
+        fetch._drop_planned = False
+        fetch.response = None
+        fetch.headers_at = None
+        if stream is not None and not stream.done:
+            stream.abort()
+
+    def _retry_or_fail(self, fetch: Fetch) -> None:
+        self._abort_attempt(fetch)
+        if fetch.attempt > self.config.max_retries:
+            fetch.failed = True
+            self.failures += 1
+            if fetch.on_error is not None:
+                handler = fetch.on_error
+                self.sim.call_soon(lambda: handler(fetch))
+            return
+        fetch.attempt += 1
+        self.retries += 1
+        delay = self.config.retry_backoff * (2.0 ** (fetch.attempt - 2))
+        self.sim.schedule(delay, lambda: self._dispatch(fetch))
 
 
 def _chain(

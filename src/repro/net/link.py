@@ -55,6 +55,7 @@ class StreamHandle:
         self.weight = max(1e-6, weight)
         self.rate = 0.0
         self.done = False
+        self.aborted = False
         self.started_at = channel.link.sim.now
         self.completed_at: Optional[float] = None
         #: Sorted (offset, callback) watch points not yet fired.
@@ -67,6 +68,21 @@ class StreamHandle:
             return
         self._watches.append((offset, callback))
         self._watches.sort(key=lambda pair: pair[0])
+        self.channel.link.poke()
+
+    def abort(self) -> None:
+        """Tear the stream down without completing it (drop/timeout).
+
+        Marks the stream done so the link stops allocating bandwidth to
+        it, but never fires ``on_complete`` or the remaining watches —
+        the exchange failed and the client handles the fallout.
+        """
+        if self.done:
+            return
+        self.done = True
+        self.aborted = True
+        self._watches = []
+        self.channel.invalidate_active()
         self.channel.link.poke()
 
     def next_threshold(self) -> float:
@@ -166,6 +182,10 @@ class Channel:
         if self.rtt <= 0:
             return
         self.cwnd = min(MAX_CWND_BYTES, self.cwnd + delivered_bytes)
+
+    def reset_window(self) -> None:
+        """Collapse the window to its initial value (injected loss burst)."""
+        self.cwnd = INITIAL_CWND_BYTES
 
     def start_stream(
         self,

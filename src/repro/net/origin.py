@@ -15,6 +15,7 @@ from repro.calibration import (
     SERVER_HTML_THINK_TIME,
     SERVER_THINK_TIME,
 )
+from repro.net.faults import ERROR_RESPONSE_BYTES, FaultKind, FaultPlan
 
 
 @dataclass
@@ -34,6 +35,9 @@ class Response:
     meta: Any = None
     #: Whether the client may cache this response.
     cacheable: bool = True
+    #: Injected 5xx: the body is a small error page, not the content.
+    #: The client treats the exchange as a failed attempt and retries.
+    error: bool = False
 
     def __post_init__(self) -> None:
         if self.size < 0:
@@ -52,16 +56,45 @@ class OriginServer:
         domain: str,
         responder: Responder,
         server_rtt: float = 0.040,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.domain = domain
         self.responder = responder
         self.server_rtt = server_rtt
+        #: Injected-failure plan; installed by the client's NetworkConfig.
+        self.fault_plan = fault_plan
         #: Count of requests served (push responses excluded).
         self.requests_served = 0
         #: Count of push streams initiated.
         self.pushes_sent = 0
+        #: Count of injected 5xx responses.
+        self.errors_served = 0
 
-    def respond(self, url: str, *, is_push: bool = False) -> Optional[Response]:
+    def respond(
+        self,
+        url: str,
+        *,
+        is_push: bool = False,
+        now: float = 0.0,
+        attempt: int = 1,
+        is_hint: bool = False,
+    ) -> Optional[Response]:
+        # Pushes ride an already-committed response stream; faulting them
+        # would orphan obligations the client never requested, so only
+        # client-initiated requests can draw a server error.
+        if self.fault_plan is not None and not is_push:
+            kind = self.fault_plan.server_fault(
+                url, self.domain, now=now, attempt=attempt, is_hint=is_hint
+            )
+            if kind is FaultKind.SERVER_ERROR:
+                self.errors_served += 1
+                return Response(
+                    url=url,
+                    size=ERROR_RESPONSE_BYTES,
+                    think_time=SERVER_THINK_TIME,
+                    cacheable=False,
+                    error=True,
+                )
         response = self.responder(url, is_push)
         if response is None:
             return None

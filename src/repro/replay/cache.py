@@ -31,20 +31,32 @@ from repro.replay.store import ReplayStore
 def blueprint_fingerprint(page: PageBlueprint) -> str:
     """Stable content hash of a blueprint's full structure.
 
-    Covers the page name, root, and every field of every spec, so any
-    structural edit — size, domain, flux flags, parentage — produces a
-    different fingerprint while identically-built blueprints collide (which
-    is exactly what a content-addressed cache wants).
+    Covers the page name, root, the spec-map keys, and every field of
+    every spec, so any structural edit — size, domain, flux flags,
+    parentage, or re-keying the spec map — produces a different
+    fingerprint while identically-built blueprints collide (which is
+    exactly what a content-addressed cache wants).
+
+    Every component is length-prefixed before hashing, so no value can
+    bleed into its neighbour (``("ab", "c")`` vs ``("a", "bc")``) and no
+    field boundary depends on the values containing no delimiters.
     """
     digest = hashlib.sha256()
-    digest.update(f"{page.name}|{page.root}".encode())
+
+    def put(text: str) -> None:
+        data = text.encode()
+        digest.update(str(len(data)).encode())
+        digest.update(b":")
+        digest.update(data)
+
+    put(page.name)
+    put(page.root)
     for name in sorted(page.specs):
+        put(name)
         spec = page.specs[name]
-        row = tuple(
-            (field.name, str(getattr(spec, field.name)))
-            for field in fields(spec)
-        )
-        digest.update(repr(row).encode())
+        for spec_field in fields(spec):
+            put(spec_field.name)
+            put(str(getattr(spec, spec_field.name)))
     return digest.hexdigest()
 
 

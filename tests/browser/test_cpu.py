@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.browser.cpu import CpuProfile, CpuQueue, DEVICE_PROFILES
+from repro.browser.cpu import CpuQueue, DEVICE_PROFILES
 from repro.net.simulator import Simulator
 from repro.pages.resources import ResourceType
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.browser.devices import DEVICES, Device, get_device
+from repro.browser.devices import DEVICES, get_device
 
 
 class TestRegistry:

@@ -9,7 +9,6 @@ from repro.browser.engine import (
     load_page,
     network_priority,
 )
-from repro.net.http import HttpVersion, NetworkConfig
 from repro.pages.dynamics import LoadStamp
 from repro.pages.page import PageBlueprint
 from repro.pages.resources import Discovery, ResourceSpec, ResourceType

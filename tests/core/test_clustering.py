@@ -1,7 +1,6 @@
 """Tests for page-type clustering (offline-load economics, Sec 7)."""
 
 from repro.core.clustering import (
-    PageCluster,
     cluster_pages,
     evaluate_clustering,
     stable_name_set,

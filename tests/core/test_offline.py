@@ -7,7 +7,6 @@ from repro.core.offline import (
     SERVER_USER,
     device_equivalence_classes,
 )
-from repro.pages.dynamics import LoadStamp, resolve_url
 
 
 class TestOfflineLoads:

@@ -7,7 +7,7 @@ from repro.core.resolver import (
     VroomResolver,
     processing_order_key,
 )
-from repro.pages.resources import Discovery, Priority, ResourceType
+from repro.pages.resources import Discovery, Priority
 
 
 @pytest.fixture(scope="module")

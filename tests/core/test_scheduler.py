@@ -8,7 +8,6 @@ from repro.core.server import vroom_servers
 from repro.net.http import NetworkConfig
 from repro.net.link import StreamScheduling
 from repro.pages.resources import Priority
-from repro.replay.recorder import record_snapshot
 
 
 def vroom_engine(page, snapshot, store, policy=None, **net_kw):

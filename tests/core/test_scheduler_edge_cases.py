@@ -1,0 +1,300 @@
+"""Edge cases for the hint-driven schedulers.
+
+Covers duplicate hints, hints arriving after the stage machine has
+advanced, hint URLs the snapshot cannot serve, and the regression where
+an early ``on_fetched`` could advance the stage machine past PRELOAD
+before the root's headers had delivered any hints.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.browser.engine import BrowserConfig, PageLoadEngine
+from repro.core.hints import DependencyHint
+from repro.core.scheduler import (
+    FetchAsapScheduler,
+    TwoStageScheduler,
+    VroomScheduler,
+)
+from repro.net.http import NetworkConfig
+from repro.pages.dynamics import LoadStamp
+from repro.pages.page import PageBlueprint
+from repro.pages.resources import Priority, ResourceSpec, ResourceType
+from repro.replay.recorder import record_snapshot
+from repro.replay.replayer import build_servers
+
+STAMP = LoadStamp(when_hours=10.0)
+
+
+def hinted_page():
+    page = PageBlueprint(name="edge", root="root")
+    page.add(
+        ResourceSpec(
+            name="root", rtype=ResourceType.HTML, domain="a.com",
+            size=12_000,
+        )
+    )
+    page.add(
+        ResourceSpec(
+            name="js", rtype=ResourceType.JS, domain="a.com",
+            size=4_000, parent="root", position=0.3,
+        )
+    )
+    page.add(
+        ResourceSpec(
+            name="img", rtype=ResourceType.IMAGE, domain="a.com",
+            size=8_000, parent="root", position=0.8,
+        )
+    )
+    page.validate()
+    return page
+
+
+def run_with_hints(policy, hints_for_root, page=None):
+    """Load ``page`` with ``hints_for_root`` attached to the root HTML."""
+    page = page or hinted_page()
+    snapshot = page.materialize(STAMP)
+    store = record_snapshot(snapshot)
+    root_url = snapshot.root.url
+
+    def decorate(recorded, response, is_push):
+        if recorded.url == root_url:
+            response.hints = list(hints_for_root(snapshot))
+        return response
+
+    engine = PageLoadEngine(
+        snapshot,
+        build_servers(store, decorator=decorate),
+        NetworkConfig(),
+        BrowserConfig(when_hours=STAMP.when_hours),
+        policy=policy,
+    )
+    return engine, engine.run(time_limit=60.0)
+
+
+SCHEDULERS = [VroomScheduler, TwoStageScheduler, FetchAsapScheduler]
+
+
+class TestDuplicateHints:
+    """The same URL hinted twice must fetch once and never wedge."""
+
+    @staticmethod
+    def doubled(snapshot):
+        url = snapshot.find("js").url
+        hint = DependencyHint(url=url, priority=Priority.PRELOAD)
+        return [hint, DependencyHint(url=url, priority=Priority.PRELOAD)]
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_load_completes(self, scheduler):
+        engine, metrics = run_with_hints(scheduler(), self.doubled)
+        assert metrics.plt > 0
+
+    @pytest.mark.parametrize("scheduler", [VroomScheduler, TwoStageScheduler])
+    def test_hint_recorded_once(self, scheduler):
+        engine, _ = run_with_hints(scheduler(), self.doubled)
+        js_url = engine.snapshot.find("js").url
+        assert engine.policy._hinted[Priority.PRELOAD].count(js_url) == 1
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_no_duplicate_fetch(self, scheduler):
+        """start_fetch is idempotent: one network transfer per URL."""
+        engine, metrics = run_with_hints(scheduler(), self.doubled)
+        js = engine.snapshot.find("js")
+        timeline = metrics.timelines[js.url]
+        assert timeline.fetched_at is not None
+        assert metrics.bytes_fetched <= sum(
+            r.size for r in engine.snapshot.all_resources()
+        ) + 2_000  # overhead slack; a double fetch would add 4 KB
+
+
+class TestHintsAbsentFromSnapshot:
+    """A hint the replay store cannot serve must fail loudly."""
+
+    @staticmethod
+    def ghost(snapshot):
+        return [
+            DependencyHint(
+                url="a.com/not-recorded.js", priority=Priority.PRELOAD
+            )
+        ]
+
+    @pytest.mark.parametrize(
+        "scheduler", [TwoStageScheduler, FetchAsapScheduler]
+    )
+    def test_unrecorded_hint_raises(self, scheduler):
+        with pytest.raises((KeyError, RuntimeError)):
+            run_with_hints(scheduler(), self.ghost)
+
+
+class _StubEngine:
+    """Just enough engine surface to drive a scheduler by hand."""
+
+    def __init__(self, root_url="a.com/root.html"):
+        # call_soon defers like the real simulator: callbacks queued
+        # during one event run after that event completes.
+        self._pending = []
+        self.sim = SimpleNamespace(
+            now=0.0, call_soon=self._pending.append
+        )
+        self.cpu = SimpleNamespace(between_tasks=self._pending.append)
+        self.client = SimpleNamespace(preconnect=lambda domain: None)
+        self.snapshot = SimpleNamespace(
+            root=SimpleNamespace(url=root_url)
+        )
+        self.snapshot_urls = {}
+        self.started = []
+        self._states = {}
+
+    def state_of(self, url):
+        if url not in self._states:
+            self._states[url] = SimpleNamespace(
+                timeline=SimpleNamespace(
+                    discovered_at=None,
+                    discovered_via=None,
+                    discovered_from=None,
+                )
+            )
+        return self._states[url]
+
+    def start_fetch(self, url, priority=1.0):
+        self.started.append(url)
+
+    def flush(self):
+        while self._pending:
+            self._pending.pop(0)()
+
+
+def _headers(url, hints):
+    response = SimpleNamespace(
+        url=url, size=1_000, think_time=0.0, hints=hints, pushes=[],
+        meta={}, cacheable=True, error=False,
+    )
+    return SimpleNamespace(url=url, response=response)
+
+
+class TestStageGate:
+    """Regression: fetches settling before the root's headers must not
+    advance the stage machine — the preload hint list is still empty,
+    and advancing would fetch later-arriving unimportant hints ASAP."""
+
+    def test_early_fetch_does_not_advance_stage(self):
+        engine = _StubEngine()
+        policy = VroomScheduler(js_single_thread=False)
+        policy.attach(engine)
+        policy.on_fetched("a.com/warm-cache-hit.css")
+        engine.flush()
+        assert policy.stage is Priority.PRELOAD
+
+    def test_late_preload_hints_still_gate_unimportant(self):
+        engine = _StubEngine()
+        policy = VroomScheduler(js_single_thread=False)
+        policy.attach(engine)
+        # An unrelated resource settles first (e.g. a cache hit).
+        policy.on_fetched("a.com/warm-cache-hit.css")
+        engine.flush()
+        # Root headers then deliver both a preload and an unimportant
+        # hint; only the preload may fetch until the stage drains.
+        policy.on_headers(
+            _headers(
+                engine.snapshot.root.url,
+                [
+                    DependencyHint(
+                        url="a.com/critical.js", priority=Priority.PRELOAD
+                    ),
+                    DependencyHint(
+                        url="a.com/footer.png", priority=Priority.UNIMPORTANT
+                    ),
+                ],
+            )
+        )
+        engine.flush()
+        assert engine.started == ["a.com/critical.js"]
+        # Once the preload drains, the held-back hint is released.
+        policy.on_fetched("a.com/critical.js")
+        engine.flush()
+        assert "a.com/footer.png" in engine.started
+
+    def test_root_failure_opens_the_gate(self):
+        """A root that dies still settles the gate: no hints are coming,
+        so stages must not wedge waiting for headers."""
+        engine = _StubEngine()
+        policy = VroomScheduler(js_single_thread=False)
+        policy.attach(engine)
+        policy.on_fetch_failed(engine.snapshot.root.url)
+        engine.flush()
+        assert policy.stage is Priority.UNIMPORTANT
+
+    def test_failed_hint_not_repumped(self):
+        """A terminally failed hint fetch must not be re-issued by the
+        stage pump — recovery belongs to local discovery."""
+        engine = _StubEngine()
+        policy = VroomScheduler(js_single_thread=False)
+        policy.attach(engine)
+        policy.on_headers(
+            _headers(
+                engine.snapshot.root.url,
+                [
+                    DependencyHint(
+                        url="a.com/flaky.js", priority=Priority.PRELOAD
+                    )
+                ],
+            )
+        )
+        engine.flush()
+        assert engine.started == ["a.com/flaky.js"]
+        policy.on_fetch_failed("a.com/flaky.js")
+        engine.flush()
+        policy._pump()
+        assert engine.started == ["a.com/flaky.js"]
+        # A local reference may still re-request it.
+        policy.on_discovered("a.com/flaky.js", via="script")
+        assert engine.started == ["a.com/flaky.js", "a.com/flaky.js"]
+
+
+class TestHintsAfterStageAdvance:
+    """Hints that arrive once the stage machine is already past their
+    class fetch immediately instead of waiting for a transition that
+    will never recur."""
+
+    def test_unimportant_hint_after_advance_is_fetched(self):
+        engine = _StubEngine()
+        policy = VroomScheduler(js_single_thread=False)
+        policy.attach(engine)
+        # Root settles with no hints: stages drain straight through.
+        policy.on_headers(_headers(engine.snapshot.root.url, []))
+        policy.on_fetched(engine.snapshot.root.url)
+        engine.flush()
+        assert policy.stage is Priority.UNIMPORTANT
+        # A late document now hints an unimportant resource.
+        policy.on_headers(
+            _headers(
+                "a.com/iframe.html",
+                [
+                    DependencyHint(
+                        url="a.com/late.png", priority=Priority.UNIMPORTANT
+                    )
+                ],
+            )
+        )
+        assert "a.com/late.png" in engine.started
+
+    def test_two_stage_promotes_late_semi_important(self):
+        engine = _StubEngine()
+        policy = TwoStageScheduler(js_single_thread=False)
+        policy.attach(engine)
+        policy.on_headers(
+            _headers(
+                engine.snapshot.root.url,
+                [
+                    DependencyHint(
+                        url="a.com/async.js",
+                        priority=Priority.SEMI_IMPORTANT,
+                    )
+                ],
+            )
+        )
+        # Promotion folds the middle class into PRELOAD: it fetches
+        # immediately and never lands in the semi-important bucket.
+        assert engine.started == ["a.com/async.js"]
+        assert policy._hinted[Priority.SEMI_IMPORTANT] == []

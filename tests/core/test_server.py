@@ -8,7 +8,6 @@ from repro.core.resolver import ResolutionStrategy
 from repro.core.server import (
     first_party_domains,
     hinted_extra_content,
-    make_vroom_decorator,
     vroom_servers,
 )
 from repro.core.resolver import VroomResolver

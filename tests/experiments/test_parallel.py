@@ -97,6 +97,29 @@ class TestDeterminism:
         assert all(value > 0 for value in run.series("http2"))
 
 
+class TestWorkerStateHygiene:
+    """The inline (workers=1) path borrows the worker globals of this
+    process; it must release them or every snapshot tree stays pinned."""
+
+    def test_inline_run_releases_work_table(self, pages):
+        from repro.experiments import parallel
+
+        run_sweep(pages, ["http2"], workers=1, cache=SnapshotCache())
+        assert parallel._WORKER_WORK == []
+        assert parallel._WORKER_KWARGS == {}
+
+    def test_inline_run_releases_on_error(self, pages):
+        from repro.experiments import parallel
+
+        with pytest.raises(ValueError, match="unknown configuration"):
+            run_sweep(
+                pages, ["no-such-config"], workers=1,
+                cache=SnapshotCache(),
+            )
+        assert parallel._WORKER_WORK == []
+        assert parallel._WORKER_KWARGS == {}
+
+
 class TestSweepPerf:
     def test_cache_counters_isolated_per_sweep(self, pages):
         cache = SnapshotCache()

@@ -130,7 +130,6 @@ class TestBadHints:
         not a hang."""
         from repro.core.hints import DependencyHint
         from repro.pages.resources import Priority
-        from repro.replay.replayer import ResponseDecorator
 
         page = tiny_page()
         snapshot = page.materialize(STAMP)

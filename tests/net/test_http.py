@@ -2,13 +2,10 @@
 
 import pytest
 
-from repro.calibration import (
-    DNS_LOOKUP_TIME,
-    HTTP1_MAX_CONNS_PER_DOMAIN,
-)
+from repro.calibration import HTTP1_MAX_CONNS_PER_DOMAIN
 from repro.net.http import HttpClient, HttpVersion, NetworkConfig
 from repro.net.link import StreamScheduling
-from repro.net.origin import OriginServer, Response, static_responder
+from repro.net.origin import OriginServer, Response
 from repro.net.simulator import Simulator
 
 

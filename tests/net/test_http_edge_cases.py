@@ -1,6 +1,5 @@
 """Edge cases in the HTTP transport layer."""
 
-import pytest
 
 from repro.net.http import HttpClient, HttpVersion, NetworkConfig
 from repro.net.origin import OriginServer, Response

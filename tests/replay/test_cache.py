@@ -40,6 +40,24 @@ class TestFingerprint:
         spec.size += 1
         assert blueprint_fingerprint(page) != before
 
+    def test_no_delimiter_bleed_between_fields(self):
+        """Length-prefixing: adjacent fields must not be able to trade
+        characters and collide ("ab"+"c" vs "a"+"bc")."""
+        from repro.pages.page import PageBlueprint
+
+        a = PageBlueprint(name="ab", root="c")
+        b = PageBlueprint(name="a", root="bc")
+        assert blueprint_fingerprint(a) != blueprint_fingerprint(b)
+
+    def test_rekeying_spec_map_changes_fingerprint(self):
+        """The map keys themselves are hashed: re-keying a spec without
+        editing it must miss the cache, not alias the old entry."""
+        page = news_sports_corpus(count=1)[0]
+        before = blueprint_fingerprint(page)
+        old_key = next(iter(page.specs))
+        page.specs["rekeyed"] = page.specs.pop(old_key)
+        assert blueprint_fingerprint(page) != before
+
     def test_stamp_key_covers_all_flux_inputs(self):
         base = _stamp()
         for other in (

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.net.origin import Response
 from repro.replay.recorder import domain_rtt, record_snapshot
 from repro.replay.replayer import build_servers
-from repro.replay.store import RecordedResponse, ReplayStore
+from repro.replay.store import RecordedResponse
 
 
 class TestRecorder:
