@@ -176,7 +176,7 @@ def run_config(
             policy_factory=lambda: VroomScheduler(js_single_thread=False)
         )
     if name == "hybrid":
-        from repro.core.hybrid import hybrid_load
+        from repro.baselines.hybrid import hybrid_load
 
         return hybrid_load(page, snapshot, store)
     if name == "polaris":

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro import audit
 from repro.browser.cache import BrowserCache
 from repro.browser.cookies import CookieJar
 from repro.browser.cpu import CpuProfile, CpuQueue, DEVICE_PROFILES
@@ -834,6 +835,23 @@ class PageLoadEngine:
         onload = self.onload_at or self.sim.now
         timelines = self.timelines()
         aft = self._compute_aft()
+        if audit.ENABLED:
+            link = self.client.link
+            in_flight = sum(
+                stream.bytes_done
+                for channel in link.channels
+                for stream in channel.streams
+                if not stream.done
+            )
+            audit.bytes_conserved(
+                link.bytes_delivered,
+                link.bytes_retired + in_flight,
+                link.bytes_delivered,
+                # The link integrates rate*dt without clamping at stream
+                # ends; each boundary crossing can overshoot by a float
+                # ulp, so the budget scales with the bytes moved.
+                tolerance=max(1.0, 1e-6 * link.bytes_delivered),
+            )
         return LoadMetrics(
             page=self.snapshot.page,
             plt=onload,

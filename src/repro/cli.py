@@ -6,6 +6,7 @@ Commands
 ``load``      simulate one page under one or more configurations
 ``waterfall`` render a page load as a text waterfall
 ``audit``     show what a Vroom server would return for a page
+``lint``      run the determinism & layering analyzer over ``src/repro``
 ``figure``    regenerate one of the paper's figures (``--workers`` fans
               its sweeps out over processes)
 ``sweep``     run a corpus × configs sweep on the parallel engine and
@@ -14,6 +15,10 @@ Commands
               medians plus retry/timeout/failure counters
 ``configs``   list the available named configurations
 ``profiles``  list the available network profiles
+
+The simulation commands (``load``, ``waterfall``, ``report``) accept
+``--audit`` to arm the runtime invariant audit (:mod:`repro.audit`) for
+the run; ``REPRO_AUDIT=1`` in the environment does the same.
 """
 
 from __future__ import annotations
@@ -60,6 +65,21 @@ def _stamp(args) -> LoadStamp:
     )
 
 
+def _maybe_enable_audit(args) -> None:
+    if getattr(args, "audit", False):
+        from repro import audit
+
+        audit.enable()
+
+
+def _add_audit_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="arm the runtime invariant audit (repro.audit) for this run",
+    )
+
+
 def _add_page_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--corpus", choices=sorted(CORPORA), default="news",
@@ -78,6 +98,7 @@ def _add_page_args(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_load(args) -> int:
+    _maybe_enable_audit(args)
     page = _page(args)
     snapshot = page.materialize(_stamp(args))
     store = record_snapshot(snapshot)
@@ -97,6 +118,7 @@ def cmd_load(args) -> int:
 
 
 def cmd_waterfall(args) -> int:
+    _maybe_enable_audit(args)
     page = _page(args)
     snapshot = page.materialize(_stamp(args))
     store = record_snapshot(snapshot)
@@ -190,6 +212,7 @@ def cmd_report(args) -> int:
     from repro.analysis.critical_path import critical_path_composition
     from repro.analysis.waterfall import summarize_phases
 
+    _maybe_enable_audit(args)
     page = _page(args)
     snapshot = page.materialize(_stamp(args))
     store = record_snapshot(snapshot)
@@ -304,6 +327,56 @@ def cmd_resilience(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Determinism & layering analyzer over the ``repro`` package."""
+    from pathlib import Path
+
+    from repro.devtools import Baseline, lint_package
+    from repro.devtools.baseline import BaselineEntry
+    from repro.devtools.findings import RULES
+
+    if args.rules:
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code]}")
+        return 0
+    root = (
+        Path(args.root)
+        if args.root
+        else Path(__file__).resolve().parent
+    )
+    baseline_path = Path(args.baseline)
+    baseline = Baseline.load(baseline_path)
+    report = lint_package(root, baseline=baseline)
+    if args.update_baseline:
+        # Keep the reasons of entries that still match; new findings get
+        # a TODO reason the author must replace before the file is merged.
+        keep = {entry.key: entry for entry in baseline.entries}
+        entries = []
+        for finding in report.suppressed + report.findings:
+            entry = keep.get(finding.key)
+            if entry is None:
+                entry = BaselineEntry(
+                    path=finding.path,
+                    code=finding.code,
+                    message=finding.message,
+                    occurrence=finding.occurrence,
+                    reason="TODO: explain",
+                )
+            entries.append(entry)
+        entries.sort(key=lambda entry: entry.key)
+        Baseline(entries=entries).save(baseline_path)
+        print(
+            f"baseline updated: {len(entries)} entr(ies) written to "
+            f"{baseline_path}"
+        )
+        return 0
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_human())
+    return report.exit_code
+
+
 def cmd_configs(_args) -> int:
     for name in CONFIG_NAMES:
         print(name)
@@ -336,12 +409,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=["http1", "http2", "vroom"],
         choices=CONFIG_NAMES,
     )
+    _add_audit_arg(load)
     load.set_defaults(func=cmd_load)
 
     waterfall = commands.add_parser("waterfall", help="render a waterfall")
     _add_page_args(waterfall)
     waterfall.add_argument("--config", default="vroom", choices=CONFIG_NAMES)
     waterfall.add_argument("--rows", type=int, default=30)
+    _add_audit_arg(waterfall)
     waterfall.set_defaults(func=cmd_waterfall)
 
     audit = commands.add_parser("audit", help="inspect server-side hints")
@@ -359,6 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=["http2", "vroom"],
         choices=CONFIG_NAMES,
     )
+    _add_audit_arg(report)
     report.set_defaults(func=cmd_report)
 
     figure = commands.add_parser("figure", help="regenerate a paper figure")
@@ -445,6 +521,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full sweep result (JSON) here",
     )
     resilience.set_defaults(func=cmd_resilience)
+
+    lint = commands.add_parser(
+        "lint", help="determinism & layering analyzer"
+    )
+    lint.add_argument(
+        "--root",
+        default=None,
+        help="package directory to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default="lint-baseline.json",
+        help="baseline file of explained findings",
+    )
+    lint.add_argument(
+        "--format", choices=["human", "json"], default="human"
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to match the current findings",
+    )
+    lint.add_argument(
+        "--rules",
+        action="store_true",
+        help="list the rule codes and exit",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     commands.add_parser(
         "configs", help="list named configurations"

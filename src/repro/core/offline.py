@@ -20,7 +20,7 @@ from repro.calibration import (
     OFFLINE_LOAD_PERIOD_HOURS,
     OFFLINE_WINDOW_LOADS,
 )
-from repro.pages.dynamics import LoadStamp
+from repro.pages.dynamics import LoadStamp, stable_nonce
 from repro.pages.page import PageBlueprint, PageSnapshot
 from repro.pages.resources import Resource
 
@@ -88,7 +88,7 @@ class OfflineResolver:
                 when_hours=when,
                 device=device,
                 user=SERVER_USER,
-                nonce=hash((self.page.name, age)) % 100_000,
+                nonce=stable_nonce(self.page.name, age),
             )
             snapshots.append(self.page.materialize(stamp))
         return snapshots

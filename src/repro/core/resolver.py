@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Set
 from repro.core.hints import DependencyHint, HintBundle, bundle_from_hints
 from repro.core.offline import SERVER_USER, OfflineResolver, StableSet
 from repro.core.online import analyze_html
-from repro.pages.dynamics import LoadStamp
+from repro.pages.dynamics import LoadStamp, stable_nonce
 from repro.pages.page import PageBlueprint
 from repro.pages.resources import (
     Priority,
@@ -179,8 +179,7 @@ class VroomResolver:
             when_hours=as_of_hours,
             device=CLASS_EMULATION_DEVICE[device_class],
             user=SERVER_USER,
-            nonce=hash((self.page.name, "online", round(as_of_hours, 3)))
-            % 100_000,
+            nonce=stable_nonce(self.page.name, "online", round(as_of_hours, 3)),
         )
         server_snapshot = self.page.materialize(stamp)
         server_doc = server_snapshot.resources.get(doc.name)

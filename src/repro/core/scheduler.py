@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Set
 
+from repro import audit
 from repro.browser.engine import FetchPolicy, network_priority
 from repro.core.hints import DependencyHint, HintBundle
 from repro.net.http import Fetch
@@ -44,6 +45,9 @@ class VroomScheduler(FetchPolicy):
             Priority.UNIMPORTANT: [],
         }
         self._seen_hints: Set[str] = set()
+        #: url -> stage the hint arrived with (audit: the stage gate a
+        #: speculative prefetch of that url must wait for).
+        self._hint_stage: Dict[str, Priority] = {}
         self._fetched: Set[str] = set()
         self._requested: Set[str] = set()
         self._failed: Set[str] = set()
@@ -82,6 +86,7 @@ class VroomScheduler(FetchPolicy):
             if hint.url in self._seen_hints:
                 continue
             self._seen_hints.add(hint.url)
+            self._hint_stage[hint.url] = hint.priority
             self._hinted[hint.priority].append(hint.url)
             # Hints reveal every domain the load will touch; start the
             # handshakes now so later stages find warm connections.
@@ -120,9 +125,20 @@ class VroomScheduler(FetchPolicy):
             self._root_settled = True
             self._schedule_stage_check()
 
-    def _request(self, url: str, priority: float) -> None:
+    def _request(
+        self, url: str, priority: float, speculative: bool = False
+    ) -> None:
         if url in self._requested:
             return
+        if speculative and audit.ENABLED:
+            hint_stage = self._hint_stage.get(url)
+            if hint_stage is not None:
+                audit.stage_gate(
+                    int(self._stage),
+                    int(hint_stage),
+                    url,
+                    self._root_settled,
+                )
         self._requested.add(url)
         self.engine.start_fetch(url, priority=priority)
 
@@ -137,7 +153,9 @@ class VroomScheduler(FetchPolicy):
             for url in self._hinted[stage]:
                 if url in self._failed:
                     continue
-                self._request(url, _STAGE_NET_PRIORITY[stage])
+                self._request(
+                    url, _STAGE_NET_PRIORITY[stage], speculative=True
+                )
 
     def _stage_complete(self, stage: Priority) -> bool:
         """All currently known URLs of ``stage`` have been received."""
@@ -157,6 +175,7 @@ class VroomScheduler(FetchPolicy):
         self._stage_check_pending = False
         if not self._root_settled:
             return
+        entry_stage = self._stage
         advanced = False
         if self._stage is Priority.PRELOAD and self._stage_complete(
             Priority.PRELOAD
@@ -169,6 +188,8 @@ class VroomScheduler(FetchPolicy):
             self._stage = Priority.UNIMPORTANT
             advanced = True
         if advanced:
+            if audit.ENABLED:
+                audit.stage_transition(int(entry_stage), int(self._stage))
             self._pump()
 
     # -- introspection (used by tests) ------------------------------------------

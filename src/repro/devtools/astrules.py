@@ -1,0 +1,398 @@
+"""AST determinism and purity rules, tuned to this codebase.
+
+The rules encode the repository's determinism contract (see
+CONTRIBUTING.md): identical inputs must produce bit-identical
+simulations across processes and ``PYTHONHASHSEED`` values, and the
+simulation layers must not touch process state (clock, environment,
+filesystem, stdout).
+
+``scan_source`` is pure: it parses source text and returns findings; it
+never imports or executes the code under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Union
+
+from repro.devtools.findings import Finding
+
+#: ``random`` module functions that draw from the hidden global RNG.
+_GLOBAL_RNG_FUNCS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gammavariate",
+        "gauss", "getrandbits", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    }
+)
+
+#: Wall-clock reads (forbidden in pure simulation layers).
+_WALL_CLOCK = frozenset(
+    {
+        "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+        "time.process_time_ns", "datetime.datetime.now",
+        "datetime.datetime.utcnow", "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Builtin calls that are I/O (forbidden in pure simulation layers).
+_IO_BUILTINS = frozenset({"print", "input", "open", "breakpoint"})
+
+#: ``os`` helpers that read or write the process environment.
+_ENV_CALLS = frozenset({"os.getenv", "os.putenv", "os.unsetenv"})
+
+#: Method names that read/write files regardless of receiver type.
+_IO_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+#: Consumers whose output order follows their argument's iteration order.
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def _describe(node: ast.expr, limit: int = 48) -> str:
+    text = ast.unparse(node)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+class _RuleVisitor(ast.NodeVisitor):
+    """One pass over one module's AST, collecting findings."""
+
+    def __init__(self, path: str, pure: bool):
+        self.path = path
+        self.pure = pure
+        self.findings: List[Finding] = []
+        #: alias -> canonical dotted module path (``import numpy as np``).
+        self._modules: Dict[str, str] = {}
+        #: local name -> canonical dotted origin (``from time import time``).
+        self._from_imports: Dict[str, str] = {}
+        #: scope stack of name -> "is a set" verdicts for local dataflow.
+        self._scopes: List[Dict[str, bool]] = [{}]
+        self._function_stack: List[str] = []
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def _emit(self, code: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                code=code,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                message=message,
+            )
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._modules[alias.asname or alias.name.partition(".")[0]] = (
+                alias.name
+                if alias.asname
+                else alias.name.partition(".")[0]
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self._from_imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    def _canonical(self, node: ast.expr) -> Optional[str]:
+        """Dotted call target with import aliases resolved."""
+        dotted = _dotted(node)
+        if dotted is None:
+            return None
+        head, sep, rest = dotted.partition(".")
+        if head in self._from_imports:
+            head = self._from_imports[head]
+        elif head in self._modules:
+            head = self._modules[head]
+        return head + sep + rest if sep else head
+
+    # -- set dataflow ------------------------------------------------------
+
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            canon = self._canonical(node.func)
+            if canon in ("set", "frozenset"):
+                return True
+            # s.union(...) / s.intersection(...) on a known set.
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "union", "intersection", "difference", "symmetric_difference",
+                "copy",
+            ):
+                return self._is_set_expr(node.func.value)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(
+                node.right
+            )
+        if isinstance(node, ast.Name):
+            for scope in reversed(self._scopes):
+                if node.id in scope:
+                    return scope[node.id]
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            self._scopes[-1][node.targets[0].id] = self._is_set_expr(
+                node.value
+            )
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            self._scopes[-1][node.target.id] = self._is_set_expr(node.value)
+        self.generic_visit(node)
+
+    # -- scopes ------------------------------------------------------------
+
+    def _visit_function(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        self._function_stack.append(node.name)
+        self._scopes.append({})
+        self.generic_visit(node)
+        self._scopes.pop()
+        self._function_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- iteration rules ---------------------------------------------------
+
+    def _check_iteration(
+        self, iter_node: ast.expr, order_free: bool = False
+    ) -> None:
+        if self._is_set_expr(iter_node):
+            if order_free:
+                # Building a set from a set: contents are order-free.
+                return
+            self._emit(
+                "DET101",
+                iter_node,
+                f"iteration over unordered set `{_describe(iter_node)}` — "
+                "wrap in sorted() or deduplicate with dict.fromkeys()",
+            )
+            return
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Attribute)
+            and iter_node.func.attr == "keys"
+            and not iter_node.args
+        ):
+            self._emit(
+                "DET102",
+                iter_node,
+                f"iteration over `{_describe(iter_node)}` — iterate the "
+                "dict itself (insertion order) or sorted() it",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension_node(self, node) -> None:
+        order_free = isinstance(node, ast.SetComp)
+        for comp in node.generators:
+            self._check_iteration(comp.iter, order_free=order_free)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension_node
+    visit_SetComp = _visit_comprehension_node
+    visit_DictComp = _visit_comprehension_node
+    visit_GeneratorExp = _visit_comprehension_node
+
+    # -- call rules --------------------------------------------------------
+
+    def _check_key_function(self, node: ast.Call) -> None:
+        """sorted(..., key=id) and lambdas closing over id()/hash()."""
+        for keyword in node.keywords:
+            if keyword.arg != "key":
+                continue
+            value = keyword.value
+            if isinstance(value, ast.Name) and value.id in ("id", "hash"):
+                self._emit(
+                    "DET105",
+                    value,
+                    f"`key={value.id}` orders by process-specific "
+                    f"{value.id}() values",
+                )
+            elif isinstance(value, ast.Lambda):
+                for inner in ast.walk(value.body):
+                    if (
+                        isinstance(inner, ast.Call)
+                        and isinstance(inner.func, ast.Name)
+                        and inner.func.id in ("id", "hash")
+                        and inner.func.id not in self._from_imports
+                    ):
+                        self._emit(
+                            "DET105",
+                            inner,
+                            f"ordering key uses builtin {inner.func.id}()",
+                        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        canon = self._canonical(node.func)
+        if canon is not None:
+            self._check_random(node, canon)
+            self._check_clock_and_io(node, canon)
+            if canon in ("sorted", "min", "max") or canon.endswith(".sort"):
+                self._check_key_function(node)
+            if (
+                canon in _ORDER_SENSITIVE_CALLS
+                and len(node.args) == 1
+                and self._is_set_expr(node.args[0])
+            ):
+                self._emit(
+                    "DET101",
+                    node,
+                    f"`{canon}()` materialises an unordered set "
+                    f"`{_describe(node.args[0])}` — sorted() it first",
+                )
+            if canon == "hash" and "__hash__" not in self._function_stack:
+                self._emit(
+                    "DET105",
+                    node,
+                    "builtin hash() is PYTHONHASHSEED-dependent for str "
+                    "inputs — use hashlib or zlib.crc32 for stable values",
+                )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and len(node.args) == 1
+            and self._is_set_expr(node.args[0])
+        ):
+            self._emit(
+                "DET101",
+                node,
+                f"join over unordered set `{_describe(node.args[0])}`",
+            )
+        if (
+            self.pure
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _IO_METHODS
+        ):
+            self._emit(
+                "PUR201",
+                node,
+                f"file I/O `.{node.func.attr}()` inside a pure simulation "
+                "layer",
+            )
+        self.generic_visit(node)
+
+    def _check_random(self, node: ast.Call, canon: str) -> None:
+        if canon == "random.Random" and not node.args and not node.keywords:
+            self._emit(
+                "DET103",
+                node,
+                "random.Random() without a seed draws from OS entropy",
+            )
+        elif (
+            canon.startswith("random.")
+            and canon.partition(".")[2] in _GLOBAL_RNG_FUNCS
+        ):
+            self._emit(
+                "DET103",
+                node,
+                f"module-level `{canon}()` uses the hidden global RNG — "
+                "thread a seeded random.Random through instead",
+            )
+        elif canon.startswith("numpy.random."):
+            tail = canon.rpartition(".")[2]
+            if tail in ("default_rng", "Generator", "RandomState",
+                        "SeedSequence"):
+                if not node.args and not node.keywords:
+                    self._emit(
+                        "DET103",
+                        node,
+                        f"`{canon}()` without a seed draws from OS entropy",
+                    )
+            else:
+                self._emit(
+                    "DET103",
+                    node,
+                    f"`{canon}()` uses numpy's global RNG — use a seeded "
+                    "numpy.random.Generator",
+                )
+
+    def _check_clock_and_io(self, node: ast.Call, canon: str) -> None:
+        if not self.pure:
+            return
+        if canon in _WALL_CLOCK:
+            self._emit(
+                "DET104",
+                node,
+                f"wall-clock read `{canon}()` inside a pure simulation "
+                "layer — simulated time comes from Simulator.now",
+            )
+        elif canon in _IO_BUILTINS or canon in _ENV_CALLS:
+            self._emit(
+                "PUR201",
+                node,
+                f"`{canon}()` inside a pure simulation layer",
+            )
+
+    # -- attribute / subscript rules --------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self.pure:
+            canon = self._canonical(node)
+            if canon in ("os.environ", "sys.stdout", "sys.stderr", "sys.stdin"):
+                self._emit(
+                    "PUR201",
+                    node,
+                    f"`{canon}` access inside a pure simulation layer",
+                )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        for inner in ast.walk(node.slice):
+            if (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Name)
+                and inner.func.id == "id"
+            ):
+                self._emit(
+                    "DET105",
+                    inner,
+                    "id() used as a container key — ids are reused and "
+                    "vary per process",
+                )
+        self.generic_visit(node)
+
+
+def scan_source(source: str, path: str, pure: bool) -> List[Finding]:
+    """Run every AST rule over one module's source text.
+
+    ``pure`` marks modules in the pure simulation layers, where the
+    wall-clock and I/O rules additionally apply.  Raises ``SyntaxError``
+    if the source does not parse.
+    """
+    tree = ast.parse(source, filename=path)
+    visitor = _RuleVisitor(path, pure)
+    visitor.visit(tree)
+    return visitor.findings

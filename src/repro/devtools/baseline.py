@@ -1,0 +1,120 @@
+"""Lint baseline: fully-explained suppression of pre-existing findings.
+
+The baseline is a JSON file at the repo root (``lint-baseline.json``)
+listing findings that are understood and deliberately tolerated — each
+entry carries a human ``reason``.  ``repro lint`` then fails only on
+*new* findings or on *stale* entries (baselined violations that no
+longer exist), so CI gates regressions in both directions without
+blocking on known debt.
+
+Entries match findings on ``(path, code, message, occurrence)`` — never
+line numbers, so unrelated edits do not churn the file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.devtools.findings import Finding
+
+_Key = Tuple[str, str, str, int]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    path: str
+    code: str
+    message: str
+    occurrence: int
+    reason: str
+
+    @property
+    def key(self) -> _Key:
+        return (self.path, self.code, self.message, self.occurrence)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "code": self.code,
+            "message": self.message,
+            "occurrence": self.occurrence,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        entries = [
+            BaselineEntry(
+                path=str(entry["path"]),
+                code=str(entry["code"]),
+                message=str(entry["message"]),
+                occurrence=int(entry.get("occurrence", 0)),
+                reason=str(entry.get("reason", "")),
+            )
+            for entry in data.get("entries", [])
+        ]
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "_comment": (
+                "Known, explained lint findings. Every entry needs a "
+                "reason; `repro lint` fails on new findings AND on stale "
+                "entries, so keep this file exact."
+            ),
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def from_findings(
+        cls, findings: List[Finding], reason: str = "TODO: explain"
+    ) -> "Baseline":
+        return cls(
+            entries=[
+                BaselineEntry(
+                    path=finding.path,
+                    code=finding.code,
+                    message=finding.message,
+                    occurrence=finding.occurrence,
+                    reason=reason,
+                )
+                for finding in findings
+            ]
+        )
+
+    def partition(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Split into (new, suppressed) findings and stale entries."""
+        by_key: Dict[_Key, BaselineEntry] = {
+            entry.key: entry for entry in self.entries
+        }
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        matched = set()
+        for finding in findings:
+            entry = by_key.get(finding.key)
+            if entry is not None:
+                suppressed.append(finding)
+                matched.add(entry.key)
+            else:
+                new.append(finding)
+        stale = [
+            entry for entry in self.entries if entry.key not in matched
+        ]
+        return new, suppressed, stale

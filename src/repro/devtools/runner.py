@@ -1,0 +1,156 @@
+"""Lint orchestration: file walking, pragmas, reports.
+
+``lint_package`` runs every AST rule plus the layering checker over a
+package tree, applies inline pragmas and the baseline, and returns a
+:class:`LintReport` that renders as human text or JSON (for CI).
+
+Inline suppression::
+
+    value = risky_thing()  # repro: allow[DET105] reason for the waiver
+
+waives the named rule(s) on that line only.  Pragmas are for cases the
+surrounding code explains; cross-cutting debt belongs in the baseline
+file, where a ``reason`` is mandatory.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.devtools.astrules import scan_source
+from repro.devtools.baseline import Baseline, BaselineEntry
+from repro.devtools.findings import Finding
+from repro.devtools.layering import PURE_LAYERS, check_layering, layer_of
+
+_PRAGMA = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9_,\s]+)\]")
+
+
+def _pragmas(source: str) -> Dict[int, frozenset]:
+    """line number -> rule codes waived on that line."""
+    out: Dict[int, frozenset] = {}
+    for number, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(text)
+        if match:
+            out[number] = frozenset(
+                code.strip() for code in match.group(1).split(",")
+            )
+    return out
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    #: Violations not covered by a pragma or the baseline: these fail CI.
+    findings: List[Finding] = field(default_factory=list)
+    #: Violations waived by an inline ``# repro: allow[...]`` pragma.
+    waived: List[Finding] = field(default_factory=list)
+    #: Violations matched by a baseline entry.
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Baseline entries that matched nothing: the debt was paid, remove
+    #: the entry.  These fail CI too, to keep the baseline exact.
+    stale: List[BaselineEntry] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.stale
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+    def render_human(self) -> str:
+        lines: List[str] = []
+        for finding in self.findings:
+            lines.append(finding.render())
+        for entry in self.stale:
+            lines.append(
+                f"{entry.path}: stale baseline entry {entry.code} "
+                f"({entry.message!r}) — the violation is gone; remove it"
+            )
+        lines.append(
+            f"{len(self.findings)} finding(s), {len(self.stale)} stale "
+            f"baseline entr(ies), {len(self.suppressed)} baselined, "
+            f"{len(self.waived)} waived by pragma; "
+            f"{self.files_scanned} file(s) scanned"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        payload = {
+            "findings": [finding.as_dict() for finding in self.findings],
+            "stale_baseline": [entry.as_dict() for entry in self.stale],
+            "summary": {
+                "findings": len(self.findings),
+                "stale_baseline": len(self.stale),
+                "suppressed": len(self.suppressed),
+                "waived": len(self.waived),
+                "files_scanned": self.files_scanned,
+                "clean": self.clean,
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _assign_occurrences(findings: List[Finding]) -> List[Finding]:
+    """Number duplicate (path, code, message) findings in source order."""
+    counts: Dict[Tuple[str, str, str], int] = {}
+    out: List[Finding] = []
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.code)):
+        key = (finding.path, finding.code, finding.message)
+        index = counts.get(key, 0)
+        counts[key] = index + 1
+        out.append(
+            Finding(
+                code=finding.code,
+                path=finding.path,
+                line=finding.line,
+                message=finding.message,
+                occurrence=index,
+            )
+        )
+    return out
+
+
+def lint_package(
+    package_root: Path,
+    baseline: Optional[Baseline] = None,
+    package: str = "repro",
+) -> LintReport:
+    """Lint every ``*.py`` under ``package_root`` (a package directory).
+
+    Finding paths are posix-relative to ``package_root``; layer purity
+    and the layering DAG are derived from the first path segment.
+    """
+    package_root = Path(package_root)
+    report = LintReport()
+    raw: List[Finding] = []
+    for path in sorted(package_root.rglob("*.py")):
+        relative = path.relative_to(package_root)
+        layer = layer_of(relative)
+        source = path.read_text()
+        report.files_scanned += 1
+        file_findings = scan_source(
+            source, relative.as_posix(), pure=layer in PURE_LAYERS
+        )
+        waivers = _pragmas(source)
+        for finding in file_findings:
+            codes = waivers.get(finding.line)
+            if codes is not None and (
+                finding.code in codes or "ALL" in codes
+            ):
+                report.waived.append(finding)
+            else:
+                raw.append(finding)
+    raw.extend(check_layering(package_root, package))
+    numbered = _assign_occurrences(raw)
+    new, suppressed, stale = (baseline or Baseline()).partition(numbered)
+    report.findings = new
+    report.suppressed = suppressed
+    report.stale = stale
+    return report

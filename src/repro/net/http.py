@@ -26,6 +26,7 @@ from repro.calibration import (
     HINT_HEADER_BYTES_PER_URL,
     TLS_HANDSHAKE_RTTS,
 )
+from repro import audit
 from repro.net.faults import FaultKind, FaultPlan
 from repro.net.link import AccessLink, StreamScheduling
 from repro.net.origin import OriginServer, Response
@@ -193,6 +194,9 @@ class HttpClient:
         #: Body/header bytes delivered for attempts that ultimately failed
         #: (injected 5xx bodies, partial transfers cut by drops/timeouts).
         self.fault_wasted_bytes = 0.0
+        #: Audit state: (domain, weight) -> last completed stream id, for
+        #: the per-origin FIFO completion-order invariant.
+        self._audit_fifo_last: Dict = {}
         plan = self.config.fault_plan
         if plan is not None and plan.rules:
             for server in servers.values():
@@ -496,6 +500,23 @@ class HttpClient:
         if fetch.headers_at is None:
             self._headers_arrived(fetch)
         fetch.completed_at = self.sim.now
+        if audit.ENABLED and fetch._stream is not None:
+            audit.fetch_bytes_accounted(
+                fetch.url,
+                fetch._stream.bytes_total,
+                fetch._header_bytes,
+                response.size if response is not None else 0.0,
+            )
+            if (
+                self.config.version is HttpVersion.HTTP2
+                and self.config.h2_scheduling is StreamScheduling.FIFO
+            ):
+                audit.fifo_order(
+                    self._audit_fifo_last,
+                    fetch.domain,
+                    fetch._stream.weight,
+                    fetch._stream.id,
+                )
         if self.config.version is HttpVersion.HTTP1:
             self._h1_connection_free(conn)
         if fetch.on_complete is not None:

@@ -23,6 +23,7 @@ import enum
 import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import audit
 from repro.net.simulator import Event, Simulator
 
 _EPS_BYTES = 1e-6
@@ -82,6 +83,7 @@ class StreamHandle:
         self.done = True
         self.aborted = True
         self._watches = []
+        self.channel.link.bytes_retired += self.bytes_done
         self.channel.invalidate_active()
         self.channel.link.poke()
 
@@ -101,6 +103,7 @@ class StreamHandle:
             self.bytes_done = self.bytes_total
             self.done = True
             self.completed_at = sim.now
+            self.channel.link.bytes_retired += self.bytes_done
             self.channel.invalidate_active()
             sim.call_soon(self.on_complete)
 
@@ -239,6 +242,17 @@ class Channel:
             # serialises its responses.
             head = min(active, key=lambda stream: (-stream.weight, stream.id))
             head.rate = byte_rate
+            if audit.ENABLED:
+                audit.fifo_discipline(
+                    self.ordinal,
+                    [
+                        (stream.weight, stream.id)
+                        for stream in active
+                        if stream.rate > 0
+                    ],
+                    (head.weight, head.id),
+                    [(stream.weight, stream.id) for stream in active],
+                )
         elif self.scheduling is StreamScheduling.WEIGHTED:
             total = sum(stream.weight for stream in active)
             for stream in active:
@@ -276,6 +290,10 @@ class AccessLink:
         self._rates: Dict[int, float] = {}
         #: Total body bytes delivered (for accounting tests).
         self.bytes_delivered = 0.0
+        #: Bytes carried by streams that already finished (completed or
+        #: aborted).  ``bytes_retired`` plus the in-flight streams'
+        #: ``bytes_done`` must always track ``bytes_delivered``.
+        self.bytes_retired = 0.0
         #: Seconds during which at least one stream was receiving bytes.
         self.busy_time = 0.0
 

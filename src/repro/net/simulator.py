@@ -18,6 +18,8 @@ import heapq
 import itertools
 from typing import Callable, List, Optional
 
+from repro import audit
+
 #: Compaction threshold: rebuild the heap once at least this many events are
 #: cancelled *and* they outnumber the live ones.  Rebuilding is O(n); with
 #: this policy its amortised cost per cancellation is O(1).
@@ -146,7 +148,14 @@ class Simulator:
                     raise RuntimeError(
                         f"exceeded {max_events} events; likely a model loop"
                     )
-                event.callback()
+                if audit.ENABLED:
+                    before = self._now
+                    event.callback()
+                    audit.clock_monotonic(
+                        before, self._now, f"event #{event.seq}"
+                    )
+                else:
+                    event.callback()
         finally:
             self._running = False
         return self._now

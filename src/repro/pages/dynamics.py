@@ -78,6 +78,15 @@ def _digest(*parts: object) -> str:
     return hashlib.sha1(joined.encode()).hexdigest()[:10]
 
 
+def stable_nonce(*parts: object) -> int:
+    """A deterministic nonce in ``[0, 100_000)`` from arbitrary parts.
+
+    Unlike builtin ``hash()``, this is independent of ``PYTHONHASHSEED``,
+    so server-side emulated loads draw the same nonce in every process.
+    """
+    return int(_digest(*parts), 16) % 100_000
+
+
 def rotation_epoch(spec: ResourceSpec, when_hours: float) -> Optional[int]:
     """Epoch index of a rotating resource at a wall-clock time.
 

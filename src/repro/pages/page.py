@@ -230,6 +230,8 @@ def merge_url_sets(snapshots: Iterable[PageSnapshot]) -> Dict[str, int]:
     """URL -> number of snapshots containing it."""
     counts: Dict[str, int] = {}
     for snapshot in snapshots:
-        for url in set(snapshot.urls()):
+        # dict.fromkeys deduplicates while keeping snapshot order, so the
+        # result's insertion order is hash-seed independent.
+        for url in dict.fromkeys(snapshot.urls()):
             counts[url] = counts.get(url, 0) + 1
     return counts

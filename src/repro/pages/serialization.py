@@ -97,7 +97,7 @@ def blueprint_from_dict(data: Dict[str, Any]) -> PageBlueprint:
 def dump_blueprint(page: PageBlueprint, path: str) -> None:
     """Write a blueprint to a JSON file."""
     with open(path, "w") as handle:
-        json.dump(blueprint_to_dict(page), handle, indent=1)
+        json.dump(blueprint_to_dict(page), handle, indent=1, sort_keys=True)
 
 
 def load_blueprint(path: str) -> PageBlueprint:
@@ -115,6 +115,7 @@ def dump_corpus(pages: List[PageBlueprint], path: str) -> None:
                 "pages": [blueprint_to_dict(page) for page in pages],
             },
             handle,
+            sort_keys=True,
         )
 
 

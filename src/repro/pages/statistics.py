@@ -10,9 +10,12 @@ for any corpus so tests and benches can check them, and so users tuning
 from __future__ import annotations
 
 from dataclasses import dataclass
+# The stdlib median (average of the middle pair) agrees with the
+# linear-interpolated percentile(…, 0.5) used by the analysis layer, and
+# using it keeps this sim-layer module from depending on repro.analysis.
+from statistics import median
 from typing import Dict, Iterable, List, Optional
 
-from repro.analysis.stats import median
 from repro.pages.dynamics import LoadStamp
 from repro.pages.page import PageBlueprint
 from repro.pages.resources import Discovery, ResourceType

@@ -124,7 +124,7 @@ class SnapshotCache:
         if memo is not None and memo[0] is page:
             return memo[1]
         fingerprint = blueprint_fingerprint(page)
-        self._fingerprints[id(page)] = (page, fingerprint)
+        self._fingerprints[id(page)] = (page, fingerprint)  # repro: allow[DET105] memo key only; never ordered or persisted, and the stored object pin guards id() reuse
         if len(self._fingerprints) > 4096:
             self._fingerprints.popitem(last=False)
         return fingerprint

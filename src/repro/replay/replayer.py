@@ -61,7 +61,9 @@ def build_servers(
     servers: Dict[str, OriginServer] = {}
     domains = set(store.domains())
     domains.update(extra.domain for extra in extra_content.values())
-    for domain in domains:
+    # Sorted so the server map (and everything downstream that iterates
+    # it) is identical across PYTHONHASHSEED values.
+    for domain in sorted(domains):
         rtt = store.domain_rtts.get(domain)
         if rtt is None:
             from repro.replay.recorder import domain_rtt

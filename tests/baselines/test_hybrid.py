@@ -2,7 +2,7 @@
 
 import statistics
 
-from repro.core.hybrid import HybridScheduler, hybrid_load
+from repro.baselines.hybrid import HybridScheduler, hybrid_load
 from repro.baselines.configs import run_config
 from repro.baselines.polaris import prior_load_weights
 from repro.replay.recorder import record_snapshot

@@ -1,0 +1,54 @@
+"""Known-negative snippets: nothing here may be flagged, even when
+scanned as a *pure* layer module.
+
+Each function is a near-miss of a rule in ``positives.py`` — the shape
+the rules must accept, so the linter stays usable on real sim code.
+"""
+
+import hashlib
+import random
+
+import numpy as np
+
+
+def ordered_iteration():
+    urls = {"a.com/x", "b.com/y"}
+    out = []
+    for url in sorted(urls):  # sorted() defuses the set
+        out.append(url)
+    for url in dict.fromkeys(out):  # order-preserving dedup
+        out.append(url + "!")
+    subset = {url for url in urls if url.startswith("a.")}  # set -> set
+    return out, subset
+
+
+def dict_iteration(mapping):
+    out = [key for key in mapping]  # insertion order: fine
+    present = "a" in mapping.keys()  # membership, not iteration
+    return out, present
+
+
+def seeded_randomness(seed):
+    rng = random.Random(seed)
+    gen = np.random.default_rng(seed)
+    return rng.random(), gen.random()
+
+
+def stable_digest(parts):
+    joined = "|".join(str(part) for part in parts)
+    return hashlib.sha1(joined.encode()).hexdigest()
+
+
+class Spec:
+    def __init__(self, name):
+        self.name = name
+
+    def __hash__(self):
+        return hash(self.name)  # hash() inside __hash__ is idiomatic
+
+    def __eq__(self, other):
+        return isinstance(other, Spec) and other.name == self.name
+
+
+def attribute_ordering(items):
+    return sorted(items, key=lambda item: item.name)

@@ -1,0 +1,62 @@
+"""Known-positive snippets: every line tagged ``# expect: CODE`` must be
+flagged with that rule when scanned as a *pure* layer module.
+
+The file is never imported by the test suite — it is read as text and fed
+to ``scan_source``.  It still has to parse, and it stays clean under the
+repo's ruff configuration (no unused imports, no undefined names).
+"""
+
+import os
+import random
+import sys
+import time
+
+import numpy as np
+
+
+def iterate_sets():
+    urls = {"a.com/x", "b.com/y"}
+    more = frozenset(["b.com/y", "c.com/z"])
+    out = []
+    for url in urls | more:  # expect: DET101
+        out.append(url)
+    ordered = list({3, 1, 2})  # expect: DET101
+    joined = ",".join(urls)  # expect: DET101
+    return out, ordered, joined
+
+
+def iterate_keys(mapping):
+    out = []
+    for key in mapping.keys():  # expect: DET102
+        out.append(key)
+    return out
+
+
+def unseeded_randomness():
+    rng = random.Random()  # expect: DET103
+    draw = random.random()  # expect: DET103
+    arr = np.random.rand(3)  # expect: DET103
+    gen = np.random.default_rng()  # expect: DET103
+    return rng, draw, arr, gen
+
+
+def wall_clock():
+    started = time.time()  # expect: DET104
+    mark = time.monotonic()  # expect: DET104
+    return started, mark
+
+
+def hash_ordering(items, mapping):
+    ranked = sorted(items, key=hash)  # expect: DET105
+    first = sorted(items, key=id)  # expect: DET105
+    value = mapping[id(items)]  # expect: DET105
+    token = hash("stable-string")  # expect: DET105
+    return ranked, first, value, token
+
+
+def impure_io(path):
+    print("progress")  # expect: PUR201
+    handle = open(path)  # expect: PUR201
+    home = os.environ["HOME"]  # expect: PUR201
+    sys.stdout.write("x")  # expect: PUR201
+    return handle, home

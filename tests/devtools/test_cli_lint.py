@@ -1,0 +1,116 @@
+"""``repro lint`` end to end through the argparse front end."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+from repro.devtools.baseline import Baseline
+from repro.devtools.findings import RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+BASELINE_PATH = REPO_ROOT / "lint-baseline.json"
+
+
+def test_lint_is_clean_with_repo_baseline(capsys):
+    code = main([
+        "lint", "--root", str(PACKAGE_ROOT),
+        "--baseline", str(BASELINE_PATH),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+    assert "0 stale" in out
+
+
+def test_lint_json_output_is_machine_readable(capsys):
+    code = main([
+        "lint", "--root", str(PACKAGE_ROOT),
+        "--baseline", str(BASELINE_PATH), "--format", "json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == []
+    assert payload["stale_baseline"] == []
+    assert payload["summary"]["clean"] is True
+    assert payload["summary"]["files_scanned"] > 50
+
+
+def test_lint_rules_lists_the_registry(capsys):
+    assert main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULES:
+        assert code in out
+
+
+def test_lint_fails_on_new_finding(tmp_path, capsys):
+    layer = tmp_path / "pkg" / "core"
+    layer.mkdir(parents=True)
+    (layer / "mod.py").write_text(
+        "import time\n"
+        "def f():\n"
+        "    return time.time()\n"
+    )
+    code = main([
+        "lint", "--root", str(tmp_path / "pkg"),
+        "--baseline", str(tmp_path / "absent.json"),
+    ])
+    assert code == 1
+    assert "DET104" in capsys.readouterr().out
+
+
+def test_update_baseline_then_clean(tmp_path, capsys):
+    layer = tmp_path / "pkg" / "core"
+    layer.mkdir(parents=True)
+    (layer / "mod.py").write_text(
+        "import random\n"
+        "def f():\n"
+        "    return random.random()\n"
+    )
+    baseline_path = tmp_path / "baseline.json"
+    assert main([
+        "lint", "--root", str(tmp_path / "pkg"),
+        "--baseline", str(baseline_path), "--update-baseline",
+    ]) == 0
+    capsys.readouterr()
+    entries = Baseline.load(baseline_path).entries
+    assert [entry.code for entry in entries] == ["DET103"]
+    assert entries[0].reason == "TODO: explain"
+    assert main([
+        "lint", "--root", str(tmp_path / "pkg"),
+        "--baseline", str(baseline_path),
+    ]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_update_baseline_preserves_existing_reasons(tmp_path, capsys):
+    layer = tmp_path / "pkg" / "core"
+    layer.mkdir(parents=True)
+    (layer / "mod.py").write_text(
+        "import random\n"
+        "def f():\n"
+        "    return random.random()\n"
+    )
+    baseline_path = tmp_path / "baseline.json"
+    main([
+        "lint", "--root", str(tmp_path / "pkg"),
+        "--baseline", str(baseline_path), "--update-baseline",
+    ])
+    entries = Baseline.load(baseline_path).entries
+    Baseline(
+        entries=[
+            type(entry)(
+                path=entry.path, code=entry.code, message=entry.message,
+                occurrence=entry.occurrence, reason="explained now",
+            )
+            for entry in entries
+        ]
+    ).save(baseline_path)
+    main([
+        "lint", "--root", str(tmp_path / "pkg"),
+        "--baseline", str(baseline_path), "--update-baseline",
+    ])
+    capsys.readouterr()
+    assert [
+        entry.reason for entry in Baseline.load(baseline_path).entries
+    ] == ["explained now"]

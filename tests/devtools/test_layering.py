@@ -1,0 +1,103 @@
+"""Import-graph layering checker over synthetic package trees."""
+
+from pathlib import Path
+
+from repro.devtools.layering import (
+    LAYER_DEPS,
+    PURE_LAYERS,
+    check_layering,
+    layer_of,
+)
+
+
+def _make(root: Path, relative: str, text: str) -> None:
+    path = root / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+
+
+def test_layer_of_maps_paths():
+    assert layer_of(Path("net/link.py")) == "net"
+    assert layer_of(Path("core/scheduler.py")) == "core"
+    assert layer_of(Path("__init__.py")) == "root"
+    assert layer_of(Path("__main__.py")) == "main"
+    assert layer_of(Path("audit.py")) == "audit"
+    assert layer_of(Path("cli.py")) == "cli"
+
+
+def test_sim_importing_harness_is_rejected(tmp_path):
+    """The acceptance case: net code must never import experiments."""
+    _make(tmp_path, "net/link.py",
+          "from repro.experiments.sweeps import run_sweep\n")
+    _make(tmp_path, "experiments/sweeps.py",
+          "def run_sweep():\n    return None\n")
+    findings = check_layering(tmp_path)
+    assert [finding.code for finding in findings] == ["LAY301"]
+    assert findings[0].path == "net/link.py"
+    assert findings[0].line == 1
+    assert "experiments" in findings[0].message
+
+
+def test_allowed_edges_pass(tmp_path):
+    _make(tmp_path, "core/scheduler.py", "from repro.net.link import X\n")
+    _make(tmp_path, "net/link.py", "from repro import audit\n")
+    _make(tmp_path, "audit.py", "ENABLED = False\n")
+    _make(tmp_path, "cli.py", "from repro.experiments.sweeps import run\n")
+    _make(tmp_path, "experiments/sweeps.py", "def run():\n    pass\n")
+    assert check_layering(tmp_path) == []
+
+
+def test_from_package_import_targets_the_submodule(tmp_path):
+    """``from repro import audit`` is an audit-layer edge, not a facade
+    import — layer 0 is reachable from everywhere in the sim DAG."""
+    _make(tmp_path, "net/sim.py", "from repro import audit\n")
+    _make(tmp_path, "audit.py", "ENABLED = False\n")
+    assert check_layering(tmp_path) == []
+
+
+def test_facade_may_import_everything(tmp_path):
+    _make(tmp_path, "__init__.py", "from repro.cli import main\n")
+    _make(tmp_path, "cli.py", "def main():\n    return 0\n")
+    assert check_layering(tmp_path) == []
+
+
+def test_devtools_may_not_import_sim_layers(tmp_path):
+    _make(tmp_path, "devtools/probe.py", "import repro.net.link\n")
+    _make(tmp_path, "net/link.py", "X = 1\n")
+    findings = check_layering(tmp_path)
+    assert [finding.code for finding in findings] == ["LAY301"]
+    assert findings[0].path == "devtools/probe.py"
+
+
+def test_cycle_is_reported(tmp_path):
+    _make(tmp_path, "net/a.py", "import repro.pages.b\n")
+    _make(tmp_path, "pages/b.py", "import repro.net.a\n")
+    codes = [finding.code for finding in check_layering(tmp_path)]
+    assert "LAY302" in codes
+    cycle = next(
+        finding
+        for finding in check_layering(tmp_path)
+        if finding.code == "LAY302"
+    )
+    assert "net" in cycle.message and "pages" in cycle.message
+
+
+def test_unregistered_layer_is_an_error(tmp_path):
+    _make(tmp_path, "mystery/mod.py", "from repro.net.link import X\n")
+    _make(tmp_path, "net/link.py", "X = 1\n")
+    findings = check_layering(tmp_path)
+    assert [finding.code for finding in findings] == ["LAY301"]
+    assert "unregistered" in findings[0].message
+
+
+def test_dag_contract_is_acyclic_and_pure_layers_are_sim_only():
+    """The declared contract itself stays sane as layers are added."""
+    for layer, allowed in LAYER_DEPS.items():
+        for target in allowed:
+            assert layer not in LAYER_DEPS.get(target, frozenset()), (
+                f"LAYER_DEPS declares a cycle: {layer} <-> {target}"
+            )
+    for harness in ("analysis", "experiments", "cli", "devtools"):
+        assert harness not in PURE_LAYERS
+    for sim in ("net", "pages", "browser", "replay", "core", "baselines"):
+        assert sim in PURE_LAYERS

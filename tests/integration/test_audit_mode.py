@@ -1,0 +1,91 @@
+"""Runtime invariant audit, end to end.
+
+With the audit armed, full page loads must pass every invariant hook
+(clock monotonicity, FIFO discipline and ordering, stage gating, byte
+conservation) — and a deliberately broken scheduler must be *caught* by
+them.  The second half is the acceptance case: the audit is only worth
+its hooks if a real violation trips it.
+"""
+
+import pytest
+
+from repro import audit
+from repro.baselines.configs import run_config
+from repro.browser.engine import BrowserConfig, load_page
+from repro.core.scheduler import _STAGE_NET_PRIORITY, VroomScheduler
+from repro.core.server import vroom_servers
+from repro.net.http import NetworkConfig
+from repro.net.link import StreamScheduling
+from repro.pages.resources import Priority
+
+
+@pytest.fixture()
+def armed():
+    audit.enable()
+    yield
+    audit.disable()
+
+
+@pytest.mark.parametrize(
+    "config",
+    ["http2", "vroom", "vroom-fair", "vroom-no-stage", "hybrid"],
+)
+def test_full_load_passes_under_audit(armed, page, snapshot, store, config):
+    metrics = run_config(config, page, snapshot, store)
+    assert metrics.plt > 0
+    assert metrics.bytes_fetched > 0
+
+
+def test_audit_off_is_bit_identical(page, snapshot, store):
+    """Arming the audit must observe, never perturb, the simulation."""
+    plain = run_config("vroom", page, snapshot, store)
+    audit.enable()
+    try:
+        audited = run_config("vroom", page, snapshot, store)
+    finally:
+        audit.disable()
+    assert audited.plt == plain.plt
+    assert audited.speed_index == plain.speed_index
+    assert audited.bytes_fetched == plain.bytes_fetched
+    assert list(audited.timelines) == list(plain.timelines)
+
+
+class GateJumpingScheduler(VroomScheduler):
+    """Mutant: issues every hinted URL regardless of the current stage."""
+
+    def _pump(self):
+        for stage in (
+            Priority.PRELOAD,
+            Priority.SEMI_IMPORTANT,
+            Priority.UNIMPORTANT,
+        ):
+            for url in self._hinted[stage]:
+                if url in self._failed:
+                    continue
+                self._request(
+                    url, _STAGE_NET_PRIORITY[stage], speculative=True
+                )
+
+
+def _vroom_load(page, snapshot, store, policy):
+    return load_page(
+        snapshot,
+        vroom_servers(page, snapshot, store),
+        NetworkConfig(h2_scheduling=StreamScheduling.FIFO),
+        BrowserConfig(when_hours=snapshot.stamp.when_hours),
+        policy,
+    )
+
+
+def test_audit_catches_stage_gate_violation(armed, page, snapshot, store):
+    with pytest.raises(audit.AuditError) as info:
+        _vroom_load(page, snapshot, store, GateJumpingScheduler())
+    assert info.value.invariant == "stage-gate"
+
+
+def test_mutant_runs_clean_with_audit_disabled(page, snapshot, store):
+    """The same mutant completes silently unaudited — the audit hooks,
+    not an unrelated crash, are what catch it."""
+    assert not audit.ENABLED
+    metrics = _vroom_load(page, snapshot, store, GateJumpingScheduler())
+    assert metrics.plt > 0
