@@ -28,6 +28,9 @@ Packages:
 * :mod:`repro.baselines` — HTTP baselines, push strawmen, Polaris, lower
   bounds, and the named-configuration runner.
 * :mod:`repro.analysis` — CDFs, accuracy (FP/FN), persistence, device IoU.
+* :mod:`repro.service` — simulated multi-tenant hint-serving backend
+  (sharded dependency store, batched offline-resolution scheduler,
+  Zipf/Poisson workload, end-to-end accuracy bridge).
 * :mod:`repro.experiments` — one regeneration function per paper figure,
   plus the parallel sweep engine (``sweep_configs``/``run_sweep``).
 """
@@ -49,6 +52,13 @@ from repro.pages import (
 )
 from repro.replay import build_servers, record_snapshot
 from repro.replay.cache import SnapshotCache, materialize_cached
+from repro.service import (
+    DependencyStore,
+    HintService,
+    ServiceConfig,
+    ServiceReport,
+    evaluate_samples,
+)
 
 __version__ = "1.0.0"
 
@@ -75,6 +85,11 @@ __all__ = [
     "record_snapshot",
     "SnapshotCache",
     "materialize_cached",
+    "DependencyStore",
+    "HintService",
+    "ServiceConfig",
+    "ServiceReport",
+    "evaluate_samples",
     "ExperimentRun",
     "run_sweep",
     "sweep_configs",

@@ -93,6 +93,23 @@ class OfflineResolver:
             snapshots.append(self.page.materialize(stamp))
         return snapshots
 
+    def prime(self, stable: StableSet) -> None:
+        """Install a precomputed stable set into the resolver's cache.
+
+        A hint-serving backend persists stable sets and serves them
+        later; priming lets a resolver answer ``stable_set`` queries at
+        the set's own ``as_of_hours`` from the *stored* record instead
+        of recomputing — which is how the service's accuracy bridge
+        replays exactly the hints the store held at lookup time.
+        """
+        if stable.page != self.page.name:
+            raise ValueError(
+                f"stable set for {stable.page!r} cannot prime a resolver "
+                f"for {self.page.name!r}"
+            )
+        key = (round(stable.as_of_hours, 6), stable.device_class)
+        self._cache[key] = stable
+
     def stable_set(
         self, as_of_hours: float, device_class: str = "phone"
     ) -> StableSet:

@@ -82,8 +82,13 @@ class Baseline:
 
     @classmethod
     def from_findings(
-        cls, findings: List[Finding], reason: str = "TODO: explain"
+        cls, findings: List[Finding], reason: str
     ) -> "Baseline":
+        """Baseline the given findings, all with one (mandatory) reason.
+
+        An unexplained suppression is just a hidden finding, so there is
+        deliberately no default here.
+        """
         return cls(
             entries=[
                 BaselineEntry(

@@ -16,6 +16,8 @@ may import from B".  The transitive closure is spelled out explicitly in
       ^
     analysis                  (metrics post-processing)
       ^
+    service                   (simulated hint-serving backend)
+      ^
     experiments               (figure regeneration, sweeps)
       ^
     cli                       (argparse front end)
@@ -44,7 +46,8 @@ _MODELS = _SUBSTRATE | {"browser", "replay"}
 _CORE = _MODELS | {"core"}
 _SIM = _CORE | {"baselines"}
 _ANALYSIS = _SIM | {"analysis"}
-_EXPERIMENTS = _ANALYSIS | {"experiments"}
+_SERVICE = _ANALYSIS | {"service"}
+_EXPERIMENTS = _SERVICE | {"experiments"}
 _ALL = _EXPERIMENTS | {"cli", "devtools"}
 
 #: layer name -> layers it may import from (its own is always allowed).
@@ -58,7 +61,8 @@ LAYER_DEPS: Dict[str, FrozenSet[str]] = {
     "core": frozenset(_MODELS),
     "baselines": frozenset(_CORE),
     "analysis": frozenset(_SIM),
-    "experiments": frozenset(_ANALYSIS),
+    "service": frozenset(_ANALYSIS),
+    "experiments": frozenset(_SERVICE),
     "cli": frozenset(_EXPERIMENTS | {"devtools"}),
     "devtools": frozenset(),
     "root": frozenset(_ALL),

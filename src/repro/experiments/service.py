@@ -1,0 +1,213 @@
+"""Service experiments: crawl budget vs staleness, end to end.
+
+The knob a Vroom operator actually controls is the **crawl budget** —
+how many server-side page loads per hour the offline-resolution fleet
+may spend.  This module sweeps that budget against *identical* traffic
+(the workload is a pure function of its seed, independent of the store
+or scheduler configuration) and reports what the budget buys:
+
+* the stale-hit rate, which must fall monotonically as the budget
+  grows (the driver's regression check);
+* the accuracy bridge's precision/recall/PLT numbers for at least two
+  budget settings, so the staleness cost is quantified in real loads
+  rather than inferred from counters.
+
+``service_benchmark`` assembles the whole ``BENCH_service.json``
+payload: one full-scale run plus the budget sweep.  Everything here is
+bit-identical under a fixed seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.pages.corpus import news_sports_corpus
+from repro.pages.page import PageBlueprint
+from repro.replay.cache import SnapshotCache
+from repro.service.backend import HintService, ServiceConfig
+from repro.service.bridge import evaluate_samples
+
+#: Crawl budgets (page loads per simulated hour) swept by default.
+DEFAULT_BUDGETS: Sequence[float] = (6.0, 15.0, 60.0)
+
+#: Budgets whose sampled lookups get the full end-to-end bridge.
+DEFAULT_BRIDGE_BUDGETS = 2
+
+
+def staleness_experiment(
+    pages: Optional[List[PageBlueprint]] = None,
+    *,
+    count: int = 12,
+    budgets: Sequence[float] = DEFAULT_BUDGETS,
+    lookups: int = 20_000,
+    rate_per_hour: float = 4_000.0,
+    freshness_hours: float = 0.5,
+    ttl_hours: float = 6.0,
+    seed: int = 0,
+    bridge_sample_every: int = 2_000,
+    bridge_budgets: int = DEFAULT_BRIDGE_BUDGETS,
+    bridge_max_samples: int = 6,
+    bridge_with_loads: bool = True,
+    cache: Optional[SnapshotCache] = None,
+) -> dict:
+    """Sweep the crawl budget against one fixed workload.
+
+    Returns ``{"budgets": [row...], "monotone_stale_hit_rate": bool}``.
+    Each row carries the budget, the run's hit/stale-hit/miss rates and
+    scheduler counters, and — for the first ``bridge_budgets`` budgets —
+    the accuracy bridge's aggregate.  A fresh :class:`HintService` is
+    built per budget (services hold per-run counters); the page fleet
+    and workload seed are shared, so the traffic is identical and the
+    stale-hit-rate column isolates the budget's effect.
+
+    Runs are **prewarmed** (every key resolved once at the start hour):
+    from a cold start, a starved budget turns would-be stale hits into
+    misses, so the stale-hit rate rises *and then* falls with budget.
+    Warm, the relationship is clean — more budget, fresher entries,
+    monotonically fewer stale hits.
+    """
+    if pages is None:
+        pages = news_sports_corpus(count)
+    active_cache = cache if cache is not None else SnapshotCache()
+    rows = []
+    stale_rates = []
+    for index, budget in enumerate(budgets):
+        config = ServiceConfig(
+            pages=len(pages),
+            lookups=lookups,
+            rate_per_hour=rate_per_hour,
+            freshness_hours=freshness_hours,
+            ttl_hours=ttl_hours,
+            crawl_budget_per_hour=budget,
+            prewarm=True,
+            seed=seed,
+            bridge_sample_every=bridge_sample_every,
+        )
+        report = HintService(pages, config).run()
+        row = {
+            "crawl_budget_per_hour": budget,
+            "hit_rate": report.totals["hit_rate"],
+            "fresh_hit_rate": report.totals["fresh_hit_rate"],
+            "stale_hit_rate": report.totals["stale_hit_rate"],
+            "miss_rate": report.totals["miss_rate"],
+            "evictions": report.totals["evictions"],
+            "scheduler": report.scheduler,
+        }
+        if index < bridge_budgets and report.samples:
+            bridge = evaluate_samples(
+                pages,
+                report.samples,
+                max_samples=bridge_max_samples,
+                with_loads=bridge_with_loads,
+                cache=active_cache,
+            )
+            row["bridge"] = bridge["aggregate"]
+        stale_rates.append(row["stale_hit_rate"])
+        rows.append(row)
+    monotone = all(
+        later <= earlier + 1e-9
+        for earlier, later in zip(stale_rates, stale_rates[1:])
+    )
+    return {"budgets": rows, "monotone_stale_hit_rate": monotone}
+
+
+def service_benchmark(
+    pages: Optional[List[PageBlueprint]] = None,
+    *,
+    count: int = 50,
+    lookups: int = 100_000,
+    rate_per_hour: float = 20_000.0,
+    shards: int = 8,
+    shard_memory_bytes: int = 256 * 1024,
+    ttl_hours: float = 12.0,
+    freshness_hours: float = 2.0,
+    batch_period_hours: float = 0.25,
+    crawl_budget_per_hour: float = 60.0,
+    zipf_exponent: float = 1.1,
+    seed: int = 0,
+    bridge_sample_every: int = 10_000,
+    budgets: Sequence[float] = DEFAULT_BUDGETS,
+    cache: Optional[SnapshotCache] = None,
+) -> dict:
+    """The full ``BENCH_service.json`` payload.
+
+    One full-scale service run (the headline counters) plus the
+    crawl-budget staleness sweep on a smaller fleet.  Pure function of
+    its arguments — no wall clock anywhere.
+    """
+    if pages is None:
+        pages = news_sports_corpus(count)
+    active_cache = cache if cache is not None else SnapshotCache()
+    config = ServiceConfig(
+        pages=len(pages),
+        lookups=lookups,
+        rate_per_hour=rate_per_hour,
+        zipf_exponent=zipf_exponent,
+        shards=shards,
+        shard_memory_bytes=shard_memory_bytes,
+        ttl_hours=ttl_hours,
+        freshness_hours=freshness_hours,
+        batch_period_hours=batch_period_hours,
+        crawl_budget_per_hour=crawl_budget_per_hour,
+        seed=seed,
+        bridge_sample_every=bridge_sample_every,
+    )
+    report = HintService(pages, config).run()
+    payload = {"benchmark": "service", "report": report.as_dict()}
+    if report.samples:
+        payload["bridge"] = evaluate_samples(
+            pages,
+            report.samples,
+            max_samples=6,
+            cache=active_cache,
+        )
+    payload["staleness"] = staleness_experiment(
+        budgets=budgets, seed=seed, cache=active_cache
+    )
+    return payload
+
+
+#: Smoke-check configuration: small, fast, and pinned.  CI runs the
+#: ``repro service --smoke`` command and asserts these counters, so a
+#: change to the store, scheduler, workload or hashing shows up as a
+#: loud diff instead of silent drift.
+SMOKE_CONFIG = ServiceConfig(
+    pages=8,
+    lookups=5_000,
+    rate_per_hour=2_000.0,
+    freshness_hours=0.5,
+    ttl_hours=6.0,
+    crawl_budget_per_hour=24.0,
+    seed=1701,
+    bridge_sample_every=0,
+)
+
+#: Golden counters for :data:`SMOKE_CONFIG` (asserted by ``--smoke``).
+EXPECTED_SMOKE = {
+    "lookups": 5000,
+    "hits": 1186,
+    "stale_hits": 2601,
+    "misses": 1213,
+    "evictions": 0,
+    "hit_rate": 0.7574,
+    "stale_hit_rate": 0.5202,
+}
+
+
+def smoke_run(cache: Optional[SnapshotCache] = None) -> dict:
+    """Run the pinned smoke configuration; return its report dict."""
+    del cache  # the smoke run records no engine loads
+    pages = news_sports_corpus(SMOKE_CONFIG.pages)
+    report = HintService(pages, SMOKE_CONFIG).run()
+    return report.as_dict()
+
+
+def smoke_check(report: dict) -> List[str]:
+    """Mismatches between a smoke report and the golden counters."""
+    problems = []
+    totals = report["totals"]
+    for field, expected in EXPECTED_SMOKE.items():
+        actual = totals.get(field)
+        if actual != expected:
+            problems.append(f"{field}: expected {expected!r}, got {actual!r}")
+    return problems

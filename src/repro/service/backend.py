@@ -1,0 +1,429 @@
+"""The hint service itself: store + scheduler + workload on the DES.
+
+:class:`HintService` simulates a multi-tenant Vroom hint-serving
+backend for a fleet of pages.  One :class:`~repro.net.simulator.
+Simulator` instance provides the virtual clock — its time unit here is
+**hours** (the offline-resolution timescale), not the seconds a page
+load uses; the two simulations never share a clock instance.
+
+The operational loop per lookup:
+
+1. Route the page URL through the consistent-hash ring to a shard.
+2. ``HIT`` — serve the stored stable set.  ``STALE_HIT`` — serve it
+   *and* enqueue a refresh (stale hints still beat no hints; the
+   bridge quantifies the gap).  ``MISS``/``EXPIRED`` — serve **no
+   hints** (the client falls back to vanilla HTTP/2 discovery, Vroom's
+   graceful cold-start story) and enqueue a resolution job.
+3. Record a deterministic lookup latency into the shard's histogram.
+
+Every ``batch_period_hours`` the scheduler tick takes a batch within
+the crawl budget and runs real offline resolutions
+(:class:`~repro.core.offline.OfflineResolver`) at the tick's simulated
+hour, inserting fresh entries into the store.  Entries therefore age
+exactly as ``pages.dynamics`` rotates URLs underneath them, which is
+what makes staleness *mean* something downstream.
+
+A run is a pure function of its :class:`ServiceConfig`: repeated runs
+produce bit-identical :class:`ServiceReport` dictionaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.calibration import DEFAULT_EVAL_HOUR, OFFLINE_WINDOW_LOADS
+from repro.core.offline import OfflineResolver, stable_set_to_dict
+from repro.net.simulator import Simulator
+from repro.pages.page import PageBlueprint
+from repro.service.bridge import BridgeSample
+from repro.service.scheduler import BatchScheduler, ResolutionJob
+from repro.service.store import (
+    DependencyStore,
+    LatencyHistogram,
+    LookupStatus,
+    StoreConfig,
+    StoreEntry,
+    payload_size_bytes,
+    stable_hash,
+)
+from repro.service.workload import Workload, WorkloadConfig
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a service run depends on (the seed included)."""
+
+    # -- fleet ----------------------------------------------------------
+    pages: int = 50
+    # -- traffic --------------------------------------------------------
+    lookups: int = 100_000
+    rate_per_hour: float = 20_000.0
+    zipf_exponent: float = 1.1
+    phone_fraction: float = 0.85
+    user_pool: int = 32
+    # -- store ----------------------------------------------------------
+    shards: int = 8
+    vnodes: int = 64
+    shard_memory_bytes: int = 256 * 1024
+    ttl_hours: float = 12.0
+    freshness_hours: float = 2.0
+    # -- offline-resolution scheduler -----------------------------------
+    batch_period_hours: float = 0.25
+    crawl_budget_per_hour: float = 60.0
+    #: Resolve every (page, device-class) key once at ``start_hour``
+    #: before traffic begins (steady-state fleet rather than cold
+    #: start).  The staleness sweep needs this: without it, starvation
+    #: budgets turn would-be stale hits into misses and the
+    #: budget→staleness relationship is confounded by coverage.
+    prewarm: bool = False
+    # -- time & determinism ---------------------------------------------
+    start_hour: float = DEFAULT_EVAL_HOUR
+    seed: int = 0
+    # -- accuracy bridge -------------------------------------------------
+    #: Sample every Nth lookup for end-to-end evaluation (0 disables).
+    bridge_sample_every: int = 0
+
+    def workload(self) -> WorkloadConfig:
+        return WorkloadConfig(
+            pages=self.pages,
+            lookups=self.lookups,
+            rate_per_hour=self.rate_per_hour,
+            zipf_exponent=self.zipf_exponent,
+            phone_fraction=self.phone_fraction,
+            user_pool=self.user_pool,
+            seed=self.seed,
+        )
+
+    def store(self) -> StoreConfig:
+        return StoreConfig(
+            shard_count=self.shards,
+            vnodes=self.vnodes,
+            shard_memory_bytes=self.shard_memory_bytes,
+            ttl_hours=self.ttl_hours,
+            freshness_hours=self.freshness_hours,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "pages": self.pages,
+            "lookups": self.lookups,
+            "rate_per_hour": self.rate_per_hour,
+            "zipf_exponent": self.zipf_exponent,
+            "phone_fraction": self.phone_fraction,
+            "user_pool": self.user_pool,
+            "shards": self.shards,
+            "vnodes": self.vnodes,
+            "shard_memory_bytes": self.shard_memory_bytes,
+            "ttl_hours": self.ttl_hours,
+            "freshness_hours": self.freshness_hours,
+            "batch_period_hours": self.batch_period_hours,
+            "crawl_budget_per_hour": self.crawl_budget_per_hour,
+            "prewarm": self.prewarm,
+            "start_hour": self.start_hour,
+            "seed": self.seed,
+            "bridge_sample_every": self.bridge_sample_every,
+        }
+
+
+def tenant_of(page_name: str) -> str:
+    """Tenant (site operator) a page belongs to: its name sans index."""
+    return page_name.rstrip("0123456789") or page_name
+
+
+@dataclass
+class ServiceReport:
+    """Counters and distributions from one service run."""
+
+    config: dict
+    duration_hours: float
+    totals: dict
+    latency: dict
+    shards: List[dict]
+    tenants: Dict[str, dict]
+    scheduler: dict
+    #: Hit rate per tenth of the lookup stream — the warm-up curve.
+    warmup_hit_rate: List[float]
+    samples: List[BridgeSample] = field(default_factory=list)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.totals["hit_rate"]
+
+    @property
+    def stale_hit_rate(self) -> float:
+        return self.totals["stale_hit_rate"]
+
+    def as_dict(self) -> dict:
+        """JSON-ready form; deterministic modulo nothing (no wall clock)."""
+        return {
+            "config": self.config,
+            "duration_hours": round(self.duration_hours, 6),
+            "totals": self.totals,
+            "latency": self.latency,
+            "shards": self.shards,
+            "tenants": {
+                tenant: self.tenants[tenant]
+                for tenant in sorted(self.tenants)
+            },
+            "scheduler": self.scheduler,
+            "warmup_hit_rate": self.warmup_hit_rate,
+        }
+
+
+class HintService:
+    """One simulated hint-serving backend over a fixed page fleet."""
+
+    def __init__(self, pages: List[PageBlueprint], config: ServiceConfig):
+        if not pages:
+            raise ValueError("the service needs a non-empty page fleet")
+        if len(pages) != config.pages:
+            raise ValueError(
+                f"config says {config.pages} pages, fleet has {len(pages)}"
+            )
+        self.pages = pages
+        self.config = config
+        self.store = DependencyStore(config.store())
+        self.scheduler = BatchScheduler(
+            budget_loads_per_hour=config.crawl_budget_per_hour,
+            batch_period_hours=config.batch_period_hours,
+            loads_per_job=OFFLINE_WINDOW_LOADS,
+        )
+        self._page_by_name = {page.name: page for page in pages}
+        self._resolvers: Dict[str, OfflineResolver] = {}
+        self._samples: List[BridgeSample] = []
+        self._tenants: Dict[str, dict] = {}
+        self._ran = False
+        #: Per-decile (hits+stale_hits, lookups) for the warm-up curve.
+        self._decile_served = [0] * 10
+        self._decile_lookups = [0] * 10
+
+    # -- helpers ----------------------------------------------------------
+
+    @staticmethod
+    def page_url(page: PageBlueprint) -> str:
+        """The routing key: the page's canonical URL."""
+        return f"{page.name}.com/"
+
+    def _resolver(self, page_name: str) -> OfflineResolver:
+        resolver = self._resolvers.get(page_name)
+        if resolver is None:
+            resolver = OfflineResolver(self._page_by_name[page_name])
+            self._resolvers[page_name] = resolver
+        return resolver
+
+    def _lookup_latency_ms(self, shard, seq: int) -> float:
+        """Deterministic per-lookup service latency (milliseconds).
+
+        Base dispatch cost, a logarithmic occupancy term (index walk),
+        and a heavy-tailed deterministic jitter drawn from a sha1 of the
+        sequence number — giving a realistic p50≪p99 spread that is
+        bit-identical across runs.
+        """
+        base = 0.15
+        occupancy = 0.02 * math.log2(1.0 + len(shard))
+        draw = (stable_hash(f"lat{seq}") % 10_000) / 10_000.0
+        jitter = 0.05 * draw + 4.0 * draw ** 12
+        return base + occupancy + jitter
+
+    # -- event handlers ---------------------------------------------------
+
+    def _handle_lookup(self, lookup, now_hours: float) -> None:
+        page = self.pages[lookup.page_index]
+        key = (page.name, lookup.device_class)
+        entry, status, shard = self.store.lookup(
+            self.page_url(page), page.name, lookup.device_class, now_hours
+        )
+        shard.latency.record(self._lookup_latency_ms(shard, lookup.seq))
+
+        tenant = self._tenants.setdefault(
+            tenant_of(page.name),
+            {"lookups": 0, "hits": 0, "stale_hits": 0, "misses": 0},
+        )
+        tenant["lookups"] += 1
+        decile = min(9, lookup.seq * 10 // self.config.lookups)
+        self._decile_lookups[decile] += 1
+
+        if status is LookupStatus.HIT:
+            tenant["hits"] += 1
+            self._decile_served[decile] += 1
+        elif status is LookupStatus.STALE_HIT:
+            tenant["stale_hits"] += 1
+            self._decile_served[decile] += 1
+            self.scheduler.enqueue(
+                ResolutionJob(
+                    page=page.name,
+                    device_class=lookup.device_class,
+                    page_index=lookup.page_index,
+                    enqueued_at_hours=now_hours,
+                    reason="stale",
+                )
+            )
+        else:  # MISS or EXPIRED: cold start — serve no hints, resolve.
+            tenant["misses"] += 1
+            self.scheduler.enqueue(
+                ResolutionJob(
+                    page=page.name,
+                    device_class=lookup.device_class,
+                    page_index=lookup.page_index,
+                    enqueued_at_hours=now_hours,
+                    reason=(
+                        "expired"
+                        if status is LookupStatus.EXPIRED
+                        else "miss"
+                    ),
+                )
+            )
+
+        every = self.config.bridge_sample_every
+        if every > 0 and lookup.seq % every == 0:
+            self._samples.append(
+                BridgeSample(
+                    seq=lookup.seq,
+                    when_hours=now_hours,
+                    page_index=lookup.page_index,
+                    page=page.name,
+                    device_class=lookup.device_class,
+                    user=lookup.user,
+                    status=status.value,
+                    computed_at_hours=(
+                        entry.computed_at_hours if entry is not None else None
+                    ),
+                    payload=(entry.payload if entry is not None else None),
+                )
+            )
+
+    def _staleness_of(
+        self, key: Tuple[str, str], now_hours: float
+    ) -> Optional[float]:
+        page_name, device_class = key
+        page = self._page_by_name[page_name]
+        shard = self.store.shard_for_page(self.page_url(page))
+        entry = shard.get(key)
+        if entry is None:
+            return None
+        return entry.age_hours(now_hours)
+
+    def _install_entry(
+        self, page_name: str, device_class: str, now_hours: float
+    ) -> None:
+        """Resolve one key at ``now_hours`` and insert it into the store."""
+        resolver = self._resolver(page_name)
+        stable = resolver.stable_set(round(now_hours, 6), device_class)
+        payload = stable_set_to_dict(stable)
+        entry = StoreEntry(
+            page=page_name,
+            device_class=device_class,
+            payload=payload,
+            computed_at_hours=round(now_hours, 6),
+            size_bytes=payload_size_bytes(payload),
+        )
+        self.store.insert(self.page_url(self._page_by_name[page_name]), entry)
+
+    def _prewarm(self) -> None:
+        """Populate every (page, device-class) key at the start hour."""
+        for page in self.pages:
+            for device_class in ("phone", "tablet"):
+                self._install_entry(
+                    page.name, device_class, self.config.start_hour
+                )
+
+    def _run_batch(self, now_hours: float) -> None:
+        batch = self.scheduler.take_batch(
+            now_hours, lambda key: self._staleness_of(key, now_hours)
+        )
+        for job in batch:
+            self._install_entry(job.page, job.device_class, now_hours)
+
+    # -- the run ----------------------------------------------------------
+
+    def run(self) -> ServiceReport:
+        """Drive the whole workload through the DES; return the report."""
+        if self._ran:
+            raise RuntimeError(
+                "a HintService holds per-run counters; build a fresh one "
+                "per run"
+            )
+        self._ran = True
+        if self.config.prewarm:
+            self._prewarm()
+        sim = Simulator()
+        workload = Workload(self.config.workload())
+        arrivals = iter(workload)
+
+        def pump() -> None:
+            """Self-rescheduling arrival chain: one live event at a time."""
+            lookup = next(arrivals, None)
+            if lookup is None:
+                return
+            delay = max(0.0, lookup.when_hours - sim.now)
+
+            def fire(lookup=lookup) -> None:
+                self._handle_lookup(
+                    lookup, self.config.start_hour + sim.now
+                )
+                pump()
+
+            sim.schedule(delay, fire)
+
+        duration = workload.duration_hours()
+        ticks = int(math.ceil(duration / self.config.batch_period_hours)) + 1
+        for tick in range(1, ticks + 1):
+            when = tick * self.config.batch_period_hours
+
+            def fire_batch(when=when) -> None:
+                self._run_batch(self.config.start_hour + when)
+
+            sim.schedule_at(when, fire_batch)
+
+        pump()
+        sim.run(max_events=self.config.lookups * 2 + ticks + 16)
+        return self._report(duration)
+
+    def _report(self, duration: float) -> ServiceReport:
+        totals = self.store.totals()
+        lookups = totals["lookups"]
+        served = totals["hits"] + totals["stale_hits"]
+        totals["hit_rate"] = round(served / lookups, 6) if lookups else 0.0
+        totals["fresh_hit_rate"] = (
+            round(totals["hits"] / lookups, 6) if lookups else 0.0
+        )
+        totals["stale_hit_rate"] = (
+            round(totals["stale_hits"] / lookups, 6) if lookups else 0.0
+        )
+        totals["miss_rate"] = (
+            round((totals["misses"] + totals["expired"]) / lookups, 6)
+            if lookups
+            else 0.0
+        )
+
+        shard_rows = []
+        for shard in self.store.shards:
+            row = {"shard": shard.index, "entries": len(shard)}
+            row.update(shard.counters.as_dict())
+            row.update(shard.latency.summary())
+            shard_rows.append(row)
+        merged = LatencyHistogram.merged(
+            [shard.latency for shard in self.store.shards]
+        )
+
+        warmup = []
+        for served_d, lookups_d in zip(
+            self._decile_served, self._decile_lookups
+        ):
+            warmup.append(
+                round(served_d / lookups_d, 6) if lookups_d else 0.0
+            )
+
+        return ServiceReport(
+            config=self.config.as_dict(),
+            duration_hours=duration,
+            totals=totals,
+            latency=merged.summary(),
+            shards=shard_rows,
+            tenants=self._tenants,
+            scheduler=self.scheduler.counters.as_dict(),
+            warmup_hit_rate=warmup,
+            samples=list(self._samples),
+        )

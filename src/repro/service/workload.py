@@ -1,0 +1,125 @@
+"""Seeded service workload: Zipf page popularity × Poisson arrivals.
+
+Web request traffic is classically modelled as a Poisson arrival
+process over a Zipf-distributed object popularity ("few pages take most
+of the traffic"), and both halves matter to a hint store: Zipf skew
+decides what stays resident under LRU, Poisson clumping decides queue
+depth at the shards.
+
+Everything draws from one ``random.Random(seed)`` instance in a fixed
+order, so a workload is a pure function of its parameters: the same
+seed yields the same lookup sequence no matter the store or budget
+configuration — which is what lets the staleness experiment vary the
+crawl budget against *identical* traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+@dataclass(frozen=True)
+class Lookup:
+    """One hint request arriving at the service front door."""
+
+    seq: int
+    when_hours: float
+    page_index: int
+    device_class: str
+    user: str
+
+
+class ZipfPopularity:
+    """Zipf(s) sampler over ``n`` ranks via inverse-CDF + bisect.
+
+    Rank 0 is the most popular page.  ``weight(r) ∝ (r + 1) ** -s``;
+    ``s = 0`` degenerates to uniform.
+    """
+
+    def __init__(self, n: int, exponent: float = 1.1):
+        if n < 1:
+            raise ValueError("need at least one page")
+        if exponent < 0:
+            raise ValueError("Zipf exponent must be non-negative")
+        self.n = n
+        self.exponent = exponent
+        cumulative: List[float] = []
+        total = 0.0
+        for rank in range(n):
+            total += (rank + 1) ** -exponent
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total = total
+
+    def weight(self, rank: int) -> float:
+        return (rank + 1) ** -self.exponent / self._total
+
+    def sample(self, uniform: float) -> int:
+        """Rank for a uniform draw in [0, 1)."""
+        return bisect_left(self._cumulative, uniform * self._total)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Traffic shape knobs."""
+
+    pages: int
+    lookups: int
+    #: Mean arrival rate (lookups per simulated hour).
+    rate_per_hour: float = 20_000.0
+    zipf_exponent: float = 1.1
+    #: Share of requests from the phone device class (rest: tablet).
+    phone_fraction: float = 0.85
+    #: Distinct client identities cycled through the traffic.
+    user_pool: int = 32
+    seed: int = 0
+
+
+class Workload:
+    """Deterministic lookup stream; iterate to drain it."""
+
+    def __init__(self, config: WorkloadConfig):
+        if config.lookups < 1:
+            raise ValueError("workload needs at least one lookup")
+        if config.rate_per_hour <= 0:
+            raise ValueError("arrival rate must be positive")
+        if not 0.0 <= config.phone_fraction <= 1.0:
+            raise ValueError("phone fraction must be within [0, 1]")
+        self.config = config
+        self.popularity = ZipfPopularity(config.pages, config.zipf_exponent)
+
+    def __iter__(self) -> Iterator[Lookup]:
+        config = self.config
+        rng = random.Random(config.seed)
+        mean_gap = 1.0 / config.rate_per_hour
+        now = 0.0
+        for seq in range(config.lookups):
+            now += rng.expovariate(1.0 / mean_gap)
+            page_index = self.popularity.sample(rng.random())
+            device_class = (
+                "phone" if rng.random() < config.phone_fraction else "tablet"
+            )
+            user = f"user{rng.randrange(config.user_pool)}"
+            yield Lookup(
+                seq=seq,
+                when_hours=now,
+                page_index=page_index,
+                device_class=device_class,
+                user=user,
+            )
+
+    def duration_hours(self) -> float:
+        """Arrival time of the last lookup (replays the gap draws)."""
+        config = self.config
+        rng = random.Random(config.seed)
+        mean_gap = 1.0 / config.rate_per_hour
+        now = 0.0
+        for _ in range(config.lookups):
+            now += rng.expovariate(1.0 / mean_gap)
+            rng.random()
+            rng.random()
+            rng.randrange(config.user_pool)
+        return now

@@ -71,11 +71,12 @@ def test_update_baseline_then_clean(tmp_path, capsys):
     assert main([
         "lint", "--root", str(tmp_path / "pkg"),
         "--baseline", str(baseline_path), "--update-baseline",
+        "--reason", "seeded RNG pending a determinism fix",
     ]) == 0
     capsys.readouterr()
     entries = Baseline.load(baseline_path).entries
     assert [entry.code for entry in entries] == ["DET103"]
-    assert entries[0].reason == "TODO: explain"
+    assert entries[0].reason == "seeded RNG pending a determinism fix"
     assert main([
         "lint", "--root", str(tmp_path / "pkg"),
         "--baseline", str(baseline_path),
@@ -95,6 +96,7 @@ def test_update_baseline_preserves_existing_reasons(tmp_path, capsys):
     main([
         "lint", "--root", str(tmp_path / "pkg"),
         "--baseline", str(baseline_path), "--update-baseline",
+        "--reason", "first pass",
     ])
     entries = Baseline.load(baseline_path).entries
     Baseline(
@@ -109,8 +111,43 @@ def test_update_baseline_preserves_existing_reasons(tmp_path, capsys):
     main([
         "lint", "--root", str(tmp_path / "pkg"),
         "--baseline", str(baseline_path), "--update-baseline",
+        "--reason", "refreshing the file",
     ])
     capsys.readouterr()
     assert [
         entry.reason for entry in Baseline.load(baseline_path).entries
     ] == ["explained now"]
+
+
+def _write_finding_package(tmp_path):
+    layer = tmp_path / "pkg" / "core"
+    layer.mkdir(parents=True)
+    (layer / "mod.py").write_text(
+        "import random\n"
+        "def f():\n"
+        "    return random.random()\n"
+    )
+    return tmp_path / "pkg", tmp_path / "baseline.json"
+
+
+def test_update_baseline_requires_reason(tmp_path, capsys):
+    root, baseline_path = _write_finding_package(tmp_path)
+    code = main([
+        "lint", "--root", str(root),
+        "--baseline", str(baseline_path), "--update-baseline",
+    ])
+    assert code == 2
+    assert "--reason" in capsys.readouterr().err
+    assert not baseline_path.exists()
+
+
+def test_update_baseline_rejects_todo_reason(tmp_path, capsys):
+    root, baseline_path = _write_finding_package(tmp_path)
+    code = main([
+        "lint", "--root", str(root),
+        "--baseline", str(baseline_path), "--update-baseline",
+        "--reason", "TODO: explain",
+    ])
+    assert code == 2
+    assert "--reason" in capsys.readouterr().err
+    assert not baseline_path.exists()

@@ -1,0 +1,84 @@
+"""Service experiments: budget sweep monotonicity, smoke goldens."""
+
+import pytest
+
+from repro.experiments.service import (
+    EXPECTED_SMOKE,
+    SMOKE_CONFIG,
+    service_benchmark,
+    smoke_check,
+    smoke_run,
+    staleness_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep(corpus):
+    return staleness_experiment(
+        corpus,
+        budgets=(4.0, 12.0, 48.0),
+        lookups=3_000,
+        rate_per_hour=1_500.0,
+        bridge_sample_every=1_000,
+        bridge_budgets=1,
+        bridge_max_samples=2,
+        bridge_with_loads=False,
+        seed=7,
+    )
+
+
+class TestStalenessSweep:
+    def test_stale_hit_rate_is_monotone_in_budget(self, sweep):
+        assert sweep["monotone_stale_hit_rate"] is True
+        rates = [row["stale_hit_rate"] for row in sweep["budgets"]]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_prewarmed_runs_never_miss(self, sweep):
+        for row in sweep["budgets"]:
+            assert row["miss_rate"] == 0.0
+
+    def test_bridge_attached_to_leading_budgets_only(self, sweep):
+        rows = sweep["budgets"]
+        assert "bridge" in rows[0]
+        assert "bridge" not in rows[1]
+        assert rows[0]["bridge"]["samples"] == 2
+
+    def test_identical_traffic_across_budgets(self, sweep):
+        # The workload is seed-driven: every run saw the same lookups.
+        offered = {
+            row["scheduler"]["budget_offered"]
+            / row["crawl_budget_per_hour"]
+            for row in sweep["budgets"]
+        }
+        assert len(offered) == 1  # same simulated duration everywhere
+
+
+class TestSmoke:
+    def test_smoke_matches_goldens(self):
+        assert smoke_check(smoke_run()) == []
+
+    def test_smoke_check_reports_drift(self):
+        report = smoke_run()
+        report["totals"]["hits"] += 1
+        problems = smoke_check(report)
+        assert len(problems) == 1
+        assert "hits" in problems[0]
+
+    def test_smoke_config_collects_no_samples(self):
+        assert SMOKE_CONFIG.bridge_sample_every == 0
+        assert EXPECTED_SMOKE["lookups"] == SMOKE_CONFIG.lookups
+
+
+class TestServiceBenchmark:
+    def test_payload_shape(self, corpus):
+        payload = service_benchmark(
+            corpus,
+            lookups=2_000,
+            rate_per_hour=1_000.0,
+            bridge_sample_every=0,
+            budgets=(6.0, 60.0),
+        )
+        assert payload["benchmark"] == "service"
+        assert payload["report"]["totals"]["lookups"] == 2_000
+        assert "bridge" not in payload  # sampling disabled
+        assert len(payload["staleness"]["budgets"]) == 2

@@ -1,0 +1,144 @@
+"""HintService end to end: determinism, cold start, counters, tenants."""
+
+import pytest
+
+from repro.service.backend import HintService, ServiceConfig, tenant_of
+
+
+@pytest.fixture(scope="module")
+def fleet(corpus):
+    return corpus  # six News/Sports pages from the session fixture
+
+
+def service_config(pages=6, **overrides):
+    base = dict(
+        pages=pages,
+        lookups=800,
+        rate_per_hour=1600.0,
+        freshness_hours=0.25,
+        ttl_hours=6.0,
+        crawl_budget_per_hour=24.0,
+        seed=11,
+    )
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+class TestConstruction:
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            HintService([], service_config(pages=0))
+
+    def test_rejects_fleet_size_mismatch(self, fleet):
+        with pytest.raises(ValueError):
+            HintService(fleet, service_config(pages=5))
+
+    def test_one_run_per_instance(self, fleet):
+        service = HintService(fleet, service_config())
+        service.run()
+        with pytest.raises(RuntimeError):
+            service.run()
+
+
+class TestDeterminism:
+    def test_two_runs_bit_identical(self, fleet):
+        first = HintService(fleet, service_config()).run().as_dict()
+        second = HintService(fleet, service_config()).run().as_dict()
+        assert first == second
+
+    def test_seed_changes_the_run(self, fleet):
+        first = HintService(fleet, service_config()).run().as_dict()
+        second = HintService(fleet, service_config(seed=12)).run().as_dict()
+        assert first != second
+
+
+class TestColdStartAndWarmup:
+    def test_first_lookup_of_every_key_misses(self, fleet):
+        report = HintService(fleet, service_config()).run()
+        assert report.totals["misses"] > 0
+        # The store was empty at t=0: the very first decile serves the
+        # least traffic from the store.
+        warmup = report.warmup_hit_rate
+        assert warmup[0] == min(warmup)
+        assert warmup[-1] > warmup[0]
+
+    def test_prewarm_eliminates_misses(self, fleet):
+        report = HintService(
+            fleet, service_config(prewarm=True, ttl_hours=50.0)
+        ).run()
+        assert report.totals["misses"] == 0
+        assert report.totals["expired"] == 0
+        assert report.totals["hit_rate"] == 1.0
+
+    def test_lookups_are_conserved(self, fleet):
+        report = HintService(fleet, service_config()).run()
+        totals = report.totals
+        assert totals["lookups"] == 800
+        assert (
+            totals["hits"]
+            + totals["stale_hits"]
+            + totals["misses"]
+            + totals["expired"]
+            == 800
+        )
+        assert report.latency["samples"] == 800
+
+
+class TestCountersAndReport:
+    def test_shard_rows_sum_to_totals(self, fleet):
+        report = HintService(fleet, service_config()).run()
+        assert sum(row["lookups"] for row in report.shards) == 800
+        assert sum(row["samples"] for row in report.shards) == 800
+
+    def test_tenants_cover_all_traffic(self, fleet):
+        report = HintService(fleet, service_config()).run()
+        assert sum(t["lookups"] for t in report.tenants.values()) == 800
+        for name in report.tenants:
+            assert name == tenant_of(name + "123")
+
+    def test_scheduler_spends_within_budget(self, fleet):
+        report = HintService(fleet, service_config()).run()
+        scheduler = report.scheduler
+        assert scheduler["loads_spent"] > 0
+        assert scheduler["budget_utilization"] <= 1.0
+
+    def test_report_dict_is_json_clean(self, fleet):
+        import json
+
+        report = HintService(fleet, service_config()).run()
+        payload = json.loads(json.dumps(report.as_dict(), sort_keys=True))
+        assert payload["totals"]["lookups"] == 800
+
+
+class TestBridgeSampling:
+    def test_sampling_collects_every_nth(self, fleet):
+        report = HintService(
+            fleet, service_config(bridge_sample_every=100)
+        ).run()
+        assert [sample.seq for sample in report.samples] == list(
+            range(0, 800, 100)
+        )
+
+    def test_miss_samples_carry_no_payload(self, fleet):
+        report = HintService(
+            fleet, service_config(bridge_sample_every=100)
+        ).run()
+        for sample in report.samples:
+            if sample.status in ("miss", "expired"):
+                assert sample.payload is None
+                assert sample.computed_at_hours is None
+            else:
+                assert sample.payload is not None
+                assert sample.computed_at_hours is not None
+                assert sample.computed_at_hours <= sample.when_hours
+
+    def test_disabled_by_default(self, fleet):
+        report = HintService(fleet, service_config()).run()
+        assert report.samples == []
+
+
+def test_tenant_of_strips_trailing_digits():
+    assert tenant_of("news0") == "news"
+    assert tenant_of("news12") == "news"
+    assert tenant_of("42") == "42"
+    assert tenant_of("sports") == "sports"

@@ -1,0 +1,132 @@
+"""Batch scheduler: coalescing, priority, crawl-budget enforcement."""
+
+import pytest
+
+from repro.service.scheduler import (
+    COLD_STALENESS_HOURS,
+    BatchScheduler,
+    ResolutionJob,
+)
+
+
+def job(page="news0", device="phone", reason="miss", at=0.0):
+    return ResolutionJob(
+        page=page,
+        device_class=device,
+        page_index=0,
+        enqueued_at_hours=at,
+        reason=reason,
+    )
+
+
+def scheduler(budget=12.0, period=1.0, loads=3):
+    return BatchScheduler(
+        budget_loads_per_hour=budget,
+        batch_period_hours=period,
+        loads_per_job=loads,
+    )
+
+
+class TestEnqueue:
+    def test_duplicate_keys_coalesce_and_bump_demand(self):
+        sched = scheduler()
+        sched.enqueue(job())
+        sched.enqueue(job())
+        sched.enqueue(job(device="tablet"))
+        assert sched.counters.enqueued == 2
+        assert sched.counters.coalesced == 1
+        batch = sched.take_batch(1.0, lambda key: None)
+        demands = {j.key: j.demand for j in batch}
+        assert demands[("news0", "phone")] == 2
+        assert demands[("news0", "tablet")] == 1
+
+
+class TestPriority:
+    def test_staler_and_hotter_first(self):
+        sched = scheduler(budget=3.0, period=1.0)  # one job per batch
+        sched.enqueue(job(page="cold"))
+        sched.enqueue(job(page="hot"))
+        sched.enqueue(job(page="hot"))
+
+        def staleness(key):
+            return 1.0  # equal staleness: demand decides
+
+        batch = sched.take_batch(1.0, staleness)
+        assert [j.page for j in batch] == ["hot"]
+
+    def test_unknown_entries_outrank_everything(self):
+        # A key with no stored entry (cold miss) gets COLD_STALENESS_HOURS.
+        sched = scheduler(budget=3.0, period=1.0)
+        sched.enqueue(job(page="stored"))
+        sched.enqueue(job(page="absent"))
+
+        def staleness(key):
+            return 5.0 if key[0] == "stored" else None
+
+        batch = sched.take_batch(1.0, staleness)
+        assert [j.page for j in batch] == ["absent"]
+        assert COLD_STALENESS_HOURS > 1e5
+
+    def test_deterministic_tie_break(self):
+        sched = scheduler(budget=3.0, period=1.0)
+        sched.enqueue(job(page="b"))
+        sched.enqueue(job(page="a"))
+        batch = sched.take_batch(1.0, lambda key: 1.0)
+        assert [j.page for j in batch] == ["a"]
+
+
+class TestBudget:
+    def test_budget_caps_batch_size(self):
+        sched = scheduler(budget=6.0, period=1.0, loads=3)  # 2 jobs/batch
+        for index in range(5):
+            sched.enqueue(job(page=f"p{index}"))
+        batch = sched.take_batch(1.0, lambda key: None)
+        assert len(batch) == 2
+        assert sched.counters.deferred == 3
+        assert sched.counters.loads_spent == 6
+
+    def test_unused_credit_banks_up_to_two_periods(self):
+        sched = scheduler(budget=6.0, period=1.0, loads=3)
+        assert sched.take_batch(1.0, lambda key: None) == []
+        assert sched.take_batch(2.0, lambda key: None) == []
+        # Credit is capped at 2 periods (12 loads = 4 jobs), not 3.
+        for index in range(10):
+            sched.enqueue(job(page=f"p{index}"))
+        batch = sched.take_batch(3.0, lambda key: None)
+        assert len(batch) == 4
+
+    def test_starved_budget_executes_nothing(self):
+        sched = scheduler(budget=1.0, period=1.0, loads=3)
+        sched.enqueue(job())
+        assert sched.take_batch(1.0, lambda key: None) == []
+        assert sched.take_batch(2.0, lambda key: None) == []
+        # Third period: 3 banked loads finally cover one job.
+        assert len(sched.take_batch(3.0, lambda key: None)) == 1
+
+    def test_deferred_jobs_survive_to_the_next_batch(self):
+        sched = scheduler(budget=3.0, period=1.0, loads=3)
+        sched.enqueue(job(page="a"))
+        sched.enqueue(job(page="b"))
+        first = sched.take_batch(1.0, lambda key: None)
+        second = sched.take_batch(2.0, lambda key: None)
+        assert {j.page for j in first + second} == {"a", "b"}
+
+    def test_counters_track_utilization(self):
+        sched = scheduler(budget=6.0, period=1.0, loads=3)
+        sched.enqueue(job())
+        sched.take_batch(1.0, lambda key: None)
+        counters = sched.counters.as_dict()
+        assert counters["executed"] == 1
+        assert counters["loads_spent"] == 3
+        assert counters["budget_offered"] == 6.0
+        assert counters["budget_utilization"] == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_knobs(self):
+        with pytest.raises(ValueError):
+            scheduler(budget=0.0)
+        with pytest.raises(ValueError):
+            scheduler(period=0.0)
+        with pytest.raises(ValueError):
+            scheduler(loads=0)

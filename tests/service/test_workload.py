@@ -1,0 +1,90 @@
+"""Workload generator: Zipf popularity, Poisson arrivals, determinism."""
+
+import pytest
+
+from repro.service.workload import Workload, WorkloadConfig, ZipfPopularity
+
+
+def config(**overrides):
+    base = dict(pages=20, lookups=500, rate_per_hour=1000.0, seed=3)
+    base.update(overrides)
+    return WorkloadConfig(**base)
+
+
+class TestZipfPopularity:
+    def test_weights_sum_to_one_and_decay(self):
+        popularity = ZipfPopularity(10, exponent=1.1)
+        weights = [popularity.weight(rank) for rank in range(10)]
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_sample_covers_extremes(self):
+        popularity = ZipfPopularity(10, exponent=1.1)
+        assert popularity.sample(0.0) == 0
+        assert popularity.sample(0.999999) == 9
+
+    def test_zero_exponent_is_uniform(self):
+        popularity = ZipfPopularity(4, exponent=0.0)
+        assert popularity.weight(0) == pytest.approx(popularity.weight(3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfPopularity(0)
+        with pytest.raises(ValueError):
+            ZipfPopularity(5, exponent=-1.0)
+
+
+class TestWorkloadDeterminism:
+    def test_two_iterations_are_identical(self):
+        workload = Workload(config())
+        assert list(workload) == list(workload)
+
+    def test_same_seed_same_stream_different_instances(self):
+        assert list(Workload(config())) == list(Workload(config()))
+
+    def test_different_seed_different_stream(self):
+        assert list(Workload(config())) != list(Workload(config(seed=4)))
+
+    def test_duration_matches_last_arrival(self):
+        workload = Workload(config())
+        last = list(workload)[-1]
+        assert workload.duration_hours() == pytest.approx(last.when_hours)
+
+
+class TestWorkloadShape:
+    def test_arrivals_are_increasing_and_rate_roughly_holds(self):
+        lookups = list(Workload(config(lookups=2000)))
+        times = [lookup.when_hours for lookup in lookups]
+        assert times == sorted(times)
+        # 2000 arrivals at 1000/hour ≈ 2 hours, within Poisson noise.
+        assert 1.5 < times[-1] < 2.5
+
+    def test_seq_is_dense(self):
+        lookups = list(Workload(config()))
+        assert [lookup.seq for lookup in lookups] == list(range(500))
+
+    def test_popular_pages_dominate(self):
+        lookups = list(Workload(config(lookups=2000)))
+        top = sum(1 for lookup in lookups if lookup.page_index == 0)
+        bottom = sum(1 for lookup in lookups if lookup.page_index == 19)
+        assert top > 5 * max(bottom, 1)
+
+    def test_phone_fraction_extremes(self):
+        all_phone = list(Workload(config(phone_fraction=1.0)))
+        assert {lookup.device_class for lookup in all_phone} == {"phone"}
+        all_tablet = list(Workload(config(phone_fraction=0.0)))
+        assert {lookup.device_class for lookup in all_tablet} == {"tablet"}
+
+    def test_users_come_from_the_pool(self):
+        lookups = list(Workload(config(user_pool=4)))
+        users = {lookup.user for lookup in lookups}
+        assert users <= {"user0", "user1", "user2", "user3"}
+        assert len(users) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Workload(config(lookups=0))
+        with pytest.raises(ValueError):
+            Workload(config(rate_per_hour=0.0))
+        with pytest.raises(ValueError):
+            Workload(config(phone_fraction=1.5))

@@ -86,3 +86,62 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert page.name in out
+
+
+class TestServiceCommand:
+    def test_smoke_passes_and_writes_report(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "smoke.json")
+        assert main(["service", "--smoke", "--report", path]) == 0
+        out = capsys.readouterr().out
+        assert "smoke:" in out
+        assert "hit rate" in out
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["benchmark"] == "service-smoke"
+        assert payload["report"]["totals"]["lookups"] == 5000
+
+    def test_full_run_prints_summary_and_sweep(self, tmp_path, capsys):
+        path = str(tmp_path / "bench.json")
+        assert main(
+            [
+                "service",
+                "--pages",
+                "6",
+                "--lookups",
+                "2000",
+                "--rate",
+                "1000",
+                "--bridge-every",
+                "0",
+                "--budgets",
+                "6",
+                "60",
+                "--report",
+                path,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "served 2000 lookups" in out
+        assert "stale-hit rate monotone in budget: True" in out
+
+
+class TestCorpusGuards:
+    def test_service_rejects_nonpositive_pages(self, capsys):
+        assert main(["service", "--pages", "0", "--report", ""]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_service_rejects_nonpositive_lookups(self, capsys):
+        assert main(
+            ["service", "--lookups", "0", "--report", ""]
+        ) == 2
+        assert "--lookups" in capsys.readouterr().err
+
+    def test_sweep_rejects_nonpositive_count(self, capsys):
+        assert main(["sweep", "--count", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_resilience_rejects_nonpositive_count(self, capsys):
+        assert main(["resilience", "--count", "-2"]) == 2
+        assert "error:" in capsys.readouterr().err
