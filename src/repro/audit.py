@@ -22,6 +22,10 @@ checked *while a load runs* instead:
   its header bytes plus its body bytes.
 * **byte-conservation** — bytes the link delivered equal the bytes the
   streams received and the bytes :class:`LoadMetrics` reports.
+* **fast-forward-bounds** — an inline clock advance (the link's
+  event-coalesced fast path) only ever jumps strictly forward and
+  strictly before the next pending heap event, so coalescing is
+  unobservable to every other model.
 
 This module sits at layer 0 of the package DAG (like
 :mod:`repro.calibration`): it imports nothing from ``repro``, so every
@@ -55,6 +59,7 @@ __all__ = [
     "stage_transition",
     "fetch_bytes_accounted",
     "bytes_conserved",
+    "fast_forward_bounds",
 ]
 
 
@@ -211,6 +216,31 @@ def fetch_bytes_accounted(
             "fetch-bytes",
             f"{url!r} stream carried {stream_total!r} bytes; headers "
             f"({header_bytes!r}) + body ({body_size!r}) = {expected!r}",
+        )
+
+
+def fast_forward_bounds(
+    now: float,
+    target: float,
+    next_event: "float | None",
+) -> None:
+    """An inline clock advance stays strictly inside the silent window.
+
+    ``next_event`` is the time of the next pending heap event (None when
+    the heap is empty); the advance must end strictly before it so the
+    coalesced steps are indistinguishable from the event-per-tick trace.
+    """
+    if target <= now:
+        raise AuditError(
+            "fast-forward-bounds",
+            f"inline advance from {now!r} to {target!r} does not move "
+            "strictly forward",
+        )
+    if next_event is not None and next_event <= target:
+        raise AuditError(
+            "fast-forward-bounds",
+            f"inline advance to {target!r} reaches past the next pending "
+            f"event at {next_event!r}",
         )
 
 

@@ -61,6 +61,7 @@ def run_config(
     user: str = "user0",
     fault_plan: Optional[FaultPlan] = None,
     resilience: Optional[ResiliencePolicy] = None,
+    link_fast_forward: Optional[bool] = None,
 ) -> LoadMetrics:
     """Load ``snapshot`` under the named configuration.
 
@@ -68,7 +69,10 @@ def run_config(
     (http1/http2/vroom variants and polaris); the CPU- and network-bound
     lower bounds and the hybrid study build their own transports and run
     fault-free.  Both default to None, which is bit-identical to the
-    pre-resilience behaviour.
+    pre-resilience behaviour.  ``link_fast_forward`` overrides the
+    engine's event-coalescing mode (None keeps the
+    :class:`NetworkConfig` default); results are bit-identical either
+    way — the equivalence suite runs both and asserts so.
     """
     when = snapshot.stamp.when_hours
     browser = BrowserConfig(
@@ -82,6 +86,8 @@ def run_config(
             config.request_timeout = resilience.request_timeout
             config.max_retries = resilience.max_retries
             config.retry_backoff = resilience.retry_backoff
+        if link_fast_forward is not None:
+            config.link_fast_forward = link_fast_forward
         return config
 
     def vroom_cfg(

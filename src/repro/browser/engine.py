@@ -872,6 +872,16 @@ class PageLoadEngine:
             timelines=timelines,
             critical_path=reconstruct_critical_path(timelines, onload),
             utilization_trace=getattr(self, "_samples", []),
+            engine_counters={
+                "events_scheduled": self.sim.events_scheduled,
+                "events_executed": self.sim.executed,
+                "events_cancelled": self.sim.events_cancelled,
+                "heap_compactions": self.sim.compactions,
+                "inline_advances": self.sim.inline_advances,
+                "link_pokes": self.client.link.pokes,
+                "link_fast_forward_steps": self.client.link.ff_steps,
+                "link_rate_recomputes": self.client.link.rate_recomputes,
+            },
         )
 
     def _compute_aft(self) -> float:

@@ -90,6 +90,12 @@ class LoadMetrics:
     utilization_trace: List[Tuple[float, bool, int]] = field(
         default_factory=list
     )
+    #: Deterministic engine perf counters (heap events scheduled/executed/
+    #: cancelled, link pokes, fast-forward steps, rate recomputes).
+    #: Excluded from equality: the fast-forward and event-per-tick engines
+    #: produce identical *results* but intentionally different counters,
+    #: and the equivalence suite compares metrics with ``==``.
+    engine_counters: Dict[str, int] = field(default_factory=dict, compare=False)
 
     @property
     def network_wait_fraction(self) -> float:

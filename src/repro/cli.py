@@ -16,6 +16,9 @@ Commands
 ``service``   simulate the multi-tenant hint-serving backend (sharded
               store + offline-resolution scheduler) and write
               ``BENCH_service.json``
+``bench``     engine micro-benchmarks; ``bench engine`` compares the
+              fast-forward DES hot path against event-per-tick and
+              writes ``BENCH_engine.json``
 ``configs``   list the available named configurations
 ``profiles``  list the available network profiles
 
@@ -472,6 +475,55 @@ def cmd_service(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Engine micro-benchmark: fast-forward hot path vs event-per-tick."""
+    import json
+
+    from repro.experiments.engine_bench import (
+        engine_benchmark,
+        smoke_check,
+        smoke_run,
+    )
+
+    _maybe_enable_audit(args)
+
+    def write_report(payload) -> None:
+        if not args.report:
+            return
+        with open(args.report, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"engine report written to {args.report}")
+
+    def print_rows(report) -> None:
+        print(
+            f"{'scenario':<22} {'events off':>10} {'events on':>10} "
+            f"{'reduction':>9} {'speedup':>8}"
+        )
+        for row in report["scenarios"]:
+            print(
+                f"{row['scenario']:<22} "
+                f"{row['counters_event_per_tick']['events_scheduled']:>10} "
+                f"{row['counters_fast_forward']['events_scheduled']:>10} "
+                f"{row['event_reduction']:>8.2f}x "
+                f"{row['wall_speedup']:>7.2f}x"
+            )
+
+    if args.smoke:
+        report = smoke_run()
+        print_rows(report)
+        write_report(report)
+        problems = smoke_check(report)
+        for problem in problems:
+            print(f"smoke mismatch — {problem}", file=sys.stderr)
+        return 1 if problems else 0
+
+    report = engine_benchmark(repeats=args.repeats)
+    print_rows(report)
+    write_report(report)
+    return 0
+
+
 def cmd_lint(args) -> int:
     """Determinism & layering analyzer over the ``repro`` package."""
     from pathlib import Path
@@ -752,6 +804,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_audit_arg(service)
     service.set_defaults(func=cmd_service)
+
+    bench = commands.add_parser(
+        "bench",
+        help="engine micro-benchmarks (fast-forward vs event-per-tick)",
+    )
+    bench.add_argument(
+        "target",
+        choices=["engine"],
+        help="benchmark suite to run",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="wall-clock repeats per mode (best-of; counters are exact)",
+    )
+    bench.add_argument(
+        "--report",
+        default="BENCH_engine.json",
+        help="write the machine-readable benchmark (JSON) here",
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single repeat + assert the pinned deterministic counters",
+    )
+    _add_audit_arg(bench)
+    bench.set_defaults(func=cmd_bench)
 
     lint = commands.add_parser(
         "lint", help="determinism & layering analyzer"

@@ -1,0 +1,296 @@
+"""Engine micro-benchmark: fast-forward DES hot path vs event-per-tick.
+
+Each scenario loads one page twice — once with the link's fast-forward
+mode off (the reference event-per-tick engine) and once with it on — and
+asserts the two :class:`LoadMetrics` are bit-identical before reporting
+anything.  The report then carries two kinds of numbers:
+
+* **Deterministic counters** (heap events scheduled/executed/cancelled,
+  link pokes, fast-forward steps, rate recomputations): pure functions
+  of the event trace, stable across machines, pinned as CI goldens by
+  ``repro bench engine --smoke``.
+* **Wall-clock** (seconds per load, speedup): machine-dependent, never
+  asserted in CI, recorded in ``BENCH_engine.json`` for the trajectory.
+
+Scenario shapes:
+
+* ``corpus-news`` — a realistic synthetic News/Sports page under the
+  push-all + fetch-asap configuration at LTE latency.  Thresholds
+  (completions, preload-scanner watches) dominate, so coalescing is
+  modest by design; this guards the realistic-workload counters.
+* ``push-all-high-rtt`` — the slow-start-heavy shape from the paper's
+  motivation: high RTT, lossy link, server push keeping many streams
+  concurrent while windows are still opening.  Refresh ticks dominate
+  and coalescing collapses the heap traffic (the >= 2x criterion).
+* ``single-stream-drain`` — one long cwnd-limited body drain, the purest
+  hot-path microbench: nearly every tick coalesces, so wall-clock
+  speedup reflects the inline loop (the >= 1.5x criterion).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.browser.engine import BrowserConfig, load_page
+from repro.browser.metrics import LoadMetrics
+from repro.calibration import DEFAULT_EVAL_HOUR
+from repro.core.push_policy import PushPolicy
+from repro.core.scheduler import FetchAsapScheduler
+from repro.core.server import vroom_servers
+from repro.net.http import NetworkConfig
+from repro.net.link import StreamScheduling
+from repro.pages.corpus import news_sports_corpus
+from repro.pages.dynamics import LoadStamp
+from repro.pages.page import PageBlueprint, PageSnapshot
+from repro.pages.resources import ResourceSpec, ResourceType
+from repro.replay.recorder import record_snapshot
+from repro.replay.store import ReplayStore
+
+
+@dataclass(frozen=True)
+class EngineScenario:
+    """One benchmarked page/network shape."""
+
+    name: str
+    description: str
+    #: "corpus" uses a generated News/Sports page; "synthetic" builds a
+    #: root document plus ``images`` bodies of ``image_bytes`` each.
+    kind: str
+    images: int = 0
+    image_bytes: int = 0
+    #: None keeps the :class:`NetworkConfig` default (LTE).
+    base_rtt: Optional[float] = None
+    loss_rate: float = 0.0
+
+
+SCENARIOS: Tuple[EngineScenario, ...] = (
+    EngineScenario(
+        name="corpus-news",
+        description="realistic News/Sports page, push-all + fetch-asap, LTE",
+        kind="corpus",
+    ),
+    EngineScenario(
+        name="push-all-high-rtt",
+        description="8 large pushed bodies, 500 ms RTT, 3% loss (slow-start-heavy)",
+        kind="synthetic",
+        images=8,
+        image_bytes=900_000,
+        base_rtt=0.5,
+        loss_rate=0.03,
+    ),
+    EngineScenario(
+        name="single-stream-drain",
+        description="one 40 MB body, 200 ms RTT, 3% loss (pure hot-path drain)",
+        kind="synthetic",
+        images=1,
+        image_bytes=40_000_000,
+        base_rtt=0.2,
+        loss_rate=0.03,
+    ),
+)
+
+#: Counter keys copied from ``LoadMetrics.engine_counters`` into reports.
+COUNTER_KEYS: Tuple[str, ...] = (
+    "events_scheduled",
+    "events_executed",
+    "events_cancelled",
+    "heap_compactions",
+    "inline_advances",
+    "link_pokes",
+    "link_fast_forward_steps",
+    "link_rate_recomputes",
+)
+
+
+def _scenario_page(scenario: EngineScenario) -> PageBlueprint:
+    if scenario.kind == "corpus":
+        return news_sports_corpus(count=1)[0]
+    page = PageBlueprint(
+        name=f"bench_{scenario.name.replace('-', '_')}", root="bench_root"
+    )
+    root = page.add(
+        ResourceSpec(
+            name="bench_root",
+            rtype=ResourceType.HTML,
+            domain="bench.com",
+            size=60_000,
+            parent=None,
+            cacheable=False,
+        )
+    )
+    for index in range(scenario.images):
+        page.add(
+            ResourceSpec(
+                name=f"bench_img{index}",
+                rtype=ResourceType.IMAGE,
+                domain="bench.com",
+                size=scenario.image_bytes,
+                parent=root.name,
+                position=0.1,
+            )
+        )
+    return page
+
+
+def _materialize(
+    scenario: EngineScenario,
+) -> Tuple[PageBlueprint, PageSnapshot, ReplayStore]:
+    page = _scenario_page(scenario)
+    snapshot = page.materialize(LoadStamp(when_hours=DEFAULT_EVAL_HOUR))
+    return page, snapshot, record_snapshot(snapshot)
+
+
+def _load_once(
+    page: PageBlueprint,
+    snapshot: PageSnapshot,
+    store: ReplayStore,
+    scenario: EngineScenario,
+    fast_forward: bool,
+) -> Tuple[LoadMetrics, float]:
+    """One push-all + fetch-asap load; returns (metrics, wall seconds)."""
+    servers = vroom_servers(
+        page, snapshot, store, push_policy=PushPolicy.ALL_LOCAL
+    )
+    net_kwargs: Dict[str, object] = {
+        "h2_scheduling": StreamScheduling.FAIR,
+        "loss_rate": scenario.loss_rate,
+        "link_fast_forward": fast_forward,
+    }
+    if scenario.base_rtt is not None:
+        net_kwargs["base_rtt"] = scenario.base_rtt
+    started = time.perf_counter()
+    metrics = load_page(
+        snapshot,
+        servers,
+        NetworkConfig(**net_kwargs),
+        BrowserConfig(when_hours=DEFAULT_EVAL_HOUR),
+        policy=FetchAsapScheduler(),
+    )
+    return metrics, time.perf_counter() - started
+
+
+def bench_scenario(scenario: EngineScenario, repeats: int = 3) -> dict:
+    """Benchmark one scenario; raises if the two modes ever diverge."""
+    page, snapshot, store = _materialize(scenario)
+    wall: Dict[bool, float] = {}
+    metrics: Dict[bool, LoadMetrics] = {}
+    for fast_forward in (False, True):
+        best = None
+        for _ in range(max(1, repeats)):
+            result, elapsed = _load_once(
+                page, snapshot, store, scenario, fast_forward
+            )
+            metrics[fast_forward] = result
+            best = elapsed if best is None else min(best, elapsed)
+        wall[fast_forward] = best or 0.0
+    if metrics[False] != metrics[True]:
+        raise AssertionError(
+            f"scenario {scenario.name!r}: fast-forward diverged from the "
+            f"event-per-tick engine (plt {metrics[False].plt!r} vs "
+            f"{metrics[True].plt!r})"
+        )
+    counters_off = {
+        key: metrics[False].engine_counters[key] for key in COUNTER_KEYS
+    }
+    counters_on = {
+        key: metrics[True].engine_counters[key] for key in COUNTER_KEYS
+    }
+    scheduled_on = max(1, counters_on["events_scheduled"])
+    return {
+        "scenario": scenario.name,
+        "description": scenario.description,
+        "plt": metrics[True].plt,
+        "bit_identical": True,
+        "counters_event_per_tick": counters_off,
+        "counters_fast_forward": counters_on,
+        "event_reduction": counters_off["events_scheduled"] / scheduled_on,
+        "wall_event_per_tick_sec": wall[False],
+        "wall_fast_forward_sec": wall[True],
+        "wall_speedup": (
+            wall[False] / wall[True] if wall[True] > 0 else 0.0
+        ),
+    }
+
+
+def engine_benchmark(
+    scenarios: Tuple[EngineScenario, ...] = SCENARIOS, repeats: int = 3
+) -> dict:
+    """Run every scenario; returns the ``BENCH_engine.json`` payload."""
+    return {
+        "benchmark": "engine",
+        "scenarios": [
+            bench_scenario(scenario, repeats=repeats)
+            for scenario in scenarios
+        ],
+    }
+
+
+#: Golden deterministic counters per scenario, asserted by ``--smoke``.
+#: Any hot-path change that alters the event trace shows up here —
+#: without the flakiness of asserting wall-clock in CI.  Regenerate by
+#: running ``repro bench engine --smoke`` and copying the printed
+#: counters after verifying the change is intentional.
+SMOKE_GOLDENS: Dict[str, Dict[str, int]] = {
+    "corpus-news": {
+        "events_scheduled_event_per_tick": 1636,
+        "events_scheduled_fast_forward": 1631,
+        "link_pokes": 553,
+        "link_fast_forward_steps": 5,
+    },
+    "push-all-high-rtt": {
+        "events_scheduled_event_per_tick": 317,
+        "events_scheduled_fast_forward": 110,
+        "link_pokes": 246,
+        "link_fast_forward_steps": 207,
+    },
+    "single-stream-drain": {
+        "events_scheduled_event_per_tick": 1281,
+        "events_scheduled_fast_forward": 27,
+        "link_pokes": 1266,
+        "link_fast_forward_steps": 1254,
+    },
+}
+
+
+def smoke_counters(report: dict) -> Dict[str, Dict[str, int]]:
+    """The golden-comparable slice of an :func:`engine_benchmark` report."""
+    observed: Dict[str, Dict[str, int]] = {}
+    for row in report["scenarios"]:
+        observed[row["scenario"]] = {
+            "events_scheduled_event_per_tick": row[
+                "counters_event_per_tick"
+            ]["events_scheduled"],
+            "events_scheduled_fast_forward": row["counters_fast_forward"][
+                "events_scheduled"
+            ],
+            "link_pokes": row["counters_fast_forward"]["link_pokes"],
+            "link_fast_forward_steps": row["counters_fast_forward"][
+                "link_fast_forward_steps"
+            ],
+        }
+    return observed
+
+
+def smoke_run() -> dict:
+    """Single-repeat benchmark over every scenario (for CI)."""
+    return engine_benchmark(repeats=1)
+
+
+def smoke_check(report: dict) -> List[str]:
+    """Mismatches between a benchmark report and the pinned goldens."""
+    problems: List[str] = []
+    observed = smoke_counters(report)
+    for scenario, golden in SMOKE_GOLDENS.items():
+        actual = observed.get(scenario)
+        if actual is None:
+            problems.append(f"{scenario}: missing from report")
+            continue
+        for field, expected in golden.items():
+            if actual.get(field) != expected:
+                problems.append(
+                    f"{scenario}.{field}: expected {expected!r}, "
+                    f"got {actual.get(field)!r}"
+                )
+    return problems

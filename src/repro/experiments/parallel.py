@@ -59,10 +59,20 @@ def get_default_workers() -> int:
     return _DEFAULT_WORKERS
 
 
-def resolve_workers(workers: Optional[int]) -> int:
-    """Normalise a worker request: None or 0 means one per CPU."""
+def resolve_workers(
+    workers: Optional[int], jobs: Optional[int] = None
+) -> int:
+    """Normalise a worker request.
+
+    None or 0 auto-sizes to one worker per CPU, never more than there
+    are ``jobs`` (pool start-up is pure overhead past that point — on a
+    1-CPU box a 4-worker pool *lost* to the serial loop).  An explicit
+    positive count is honoured, clamped only by ``jobs``.
+    """
     if workers is None or workers <= 0:
-        return os.cpu_count() or 1
+        workers = os.cpu_count() or 1
+    if jobs is not None:
+        workers = min(workers, max(1, jobs))
     return workers
 
 
@@ -193,7 +203,9 @@ def run_sweep(
 ) -> Tuple["ExperimentRun", SweepPerf]:
     """Sweep every page under every config; return the run plus its perf.
 
-    ``workers=None`` uses one worker per CPU; ``workers=1`` runs inline.
+    ``workers=None`` auto-sizes to ``min(cpu_count, jobs)`` (so a 1-CPU
+    box runs inline instead of paying pool overhead); ``workers=1`` runs
+    inline.  ``SweepPerf.workers`` records the effective count.
     ``cache=None`` uses the session-wide snapshot cache (pass a private
     :class:`SnapshotCache` to isolate, e.g. in tests).
     ``config_kwargs`` (picklable) is forwarded to every ``run_config``
@@ -204,7 +216,7 @@ def run_sweep(
     pages = list(pages)
     configs = list(configs)
     stamp = stamp or LoadStamp(when_hours=DEFAULT_EVAL_HOUR)
-    workers = resolve_workers(workers)
+    workers = resolve_workers(workers, jobs=len(pages) * len(configs))
 
     from repro.replay.cache import DEFAULT_CACHE
 

@@ -67,6 +67,10 @@ class NetworkConfig:
     max_retries: int = 0
     #: First retry delay in seconds; doubles with each further retry.
     retry_backoff: float = 0.25
+    #: Coalesce the link's refresh ticks into inline clock advances.
+    #: Bit-identical to the event-per-tick path; off exists for the
+    #: equivalence suite and for bisecting engine regressions.
+    link_fast_forward: bool = True
 
     def rtt_to(self, server: OriginServer) -> float:
         if self.zero_latency:
@@ -176,7 +180,10 @@ class HttpClient:
         self.servers = servers
         self.config = config or NetworkConfig()
         self.link = AccessLink(
-            sim, self.config.downlink_bps, loss_rate=self.config.loss_rate
+            sim,
+            self.config.downlink_bps,
+            loss_rate=self.config.loss_rate,
+            fast_forward=self.config.link_fast_forward,
         )
         self._domains: Dict[str, _DomainState] = {}
         #: url -> Fetch for every exchange ever started (including pushes).

@@ -15,12 +15,24 @@ divided across streams according to the connection's scheduling mode:
 
 Streams expose *offset watches* so the browser's preload scanner can react
 the moment a particular byte of an HTML response arrives.
+
+The link is also the simulation's hottest loop: while any connection is in
+slow start it refreshes its piecewise-constant rates every ``min_rtt / 2``.
+With ``fast_forward`` enabled (the default), consecutive refresh steps run
+in a tight inline loop via :meth:`Simulator.advance_inline` instead of a
+schedule/cancel/pop heap round-trip per step.  The inline path performs the
+identical piecewise updates at the identical simulated times, and drops
+back to the heap whenever any foreign event could observe the difference,
+so results are bit-identical either way (see ``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations
 
+import bisect
 import enum
 import itertools
+import math
+import random
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import audit
@@ -38,6 +50,22 @@ class StreamScheduling(enum.Enum):
 
 class StreamHandle:
     """One response body in flight over the shared link."""
+
+    __slots__ = (
+        "id",
+        "channel",
+        "bytes_total",
+        "bytes_done",
+        "on_complete",
+        "weight",
+        "rate",
+        "done",
+        "aborted",
+        "started_at",
+        "completed_at",
+        "_watches",
+        "_watch_cursor",
+    )
 
     _ids = itertools.count()
 
@@ -59,16 +87,24 @@ class StreamHandle:
         self.aborted = False
         self.started_at = channel.link.sim.now
         self.completed_at: Optional[float] = None
-        #: Sorted (offset, callback) watch points not yet fired.
+        #: Sorted (offset, callback) watch points; entries before
+        #: ``_watch_cursor`` have fired already (a cursor beats ``pop(0)``'s
+        #: O(n) front-shift, and the list is dropped once fully consumed).
         self._watches: List[Tuple[float, Callable[[], None]]] = []
+        self._watch_cursor = 0
 
     def watch_offset(self, offset: float, callback: Callable[[], None]) -> None:
         """Invoke ``callback`` once ``offset`` bytes of the body have arrived."""
         if self.done or self.bytes_done + _EPS_BYTES >= offset:
             self.channel.link.sim.call_soon(callback)
             return
-        self._watches.append((offset, callback))
-        self._watches.sort(key=lambda pair: pair[0])
+        # A stored offset strictly exceeds bytes_done, hence every fired
+        # offset, so insertion always lands at or after the cursor.  Equal
+        # offsets keep registration order (insort is right-biased), exactly
+        # as the previous append-then-stable-sort did.
+        bisect.insort(
+            self._watches, (offset, callback), key=lambda pair: pair[0]
+        )
         self.channel.link.poke()
 
     def abort(self) -> None:
@@ -83,6 +119,7 @@ class StreamHandle:
         self.done = True
         self.aborted = True
         self._watches = []
+        self._watch_cursor = 0
         self.channel.link.bytes_retired += self.bytes_done
         self.channel.invalidate_active()
         self.channel.link.poke()
@@ -90,15 +127,25 @@ class StreamHandle:
     def next_threshold(self) -> float:
         """Bytes remaining until the next interesting point (watch or end)."""
         target = self.bytes_total
-        if self._watches:
-            target = min(target, self._watches[0][0])
+        if self._watch_cursor < len(self._watches):
+            target = min(target, self._watches[self._watch_cursor][0])
         return max(0.0, target - self.bytes_done)
 
     def fire_ready(self, sim: Simulator) -> None:
         """Fire watches whose offsets have arrived; completion if finished."""
-        while self._watches and self.bytes_done + _EPS_BYTES >= self._watches[0][0]:
-            _, callback = self._watches.pop(0)
-            sim.call_soon(callback)
+        watches = self._watches
+        if watches:
+            cursor = self._watch_cursor
+            count = len(watches)
+            arrived = self.bytes_done + _EPS_BYTES
+            while cursor < count and watches[cursor][0] <= arrived:
+                sim.call_soon(watches[cursor][1])
+                cursor += 1
+            if cursor >= count:
+                self._watches = []
+                self._watch_cursor = 0
+            else:
+                self._watch_cursor = cursor
         if not self.done and self.bytes_done + _EPS_BYTES >= self.bytes_total:
             self.bytes_done = self.bytes_total
             self.done = True
@@ -126,6 +173,21 @@ class Channel:
     load critical paths.
     """
 
+    __slots__ = (
+        "id",
+        "link",
+        "ordinal",
+        "scheduling",
+        "rtt",
+        "cwnd",
+        "streams",
+        "_active_cache",
+        "_last_busy_at",
+        "_bytes_to_next_loss",
+        "_loss_count",
+        "_rng",
+    )
+
     _ids = itertools.count()
 
     def __init__(
@@ -148,18 +210,24 @@ class Channel:
         #: stop re-filtering (and re-allocating) an unchanged set.
         self._active_cache: Optional[List[StreamHandle]] = None
         self._last_busy_at = link.sim.now
+        #: Cached loss RNG, reseeded per draw on the (ordinal, loss_count)
+        #: scheme so sequences match the historical fresh-instance-per-draw
+        #: behaviour without the per-loss allocation.
+        self._rng: Optional[random.Random] = None
+        self._loss_count = 0
         #: Bytes until this connection's next simulated packet loss.
         self._bytes_to_next_loss = self._sample_loss_gap(seed_extra=0)
-        self._loss_count = 0
 
     def _sample_loss_gap(self, seed_extra: int) -> float:
         """Deterministic exponential gap between losses, in bytes."""
         if self.link.loss_rate <= 0:
             return float("inf")
-        import math
-        import random
-
-        rng = random.Random((self.ordinal + 1) * 9973 + seed_extra)
+        seed = (self.ordinal + 1) * 9973 + seed_extra
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = random.Random(seed)
+        else:
+            rng.seed(seed)
         mean_gap = 1460.0 / self.link.loss_rate
         return -mean_gap * math.log(max(1e-12, rng.random()))
 
@@ -271,6 +339,7 @@ class AccessLink:
         sim: Simulator,
         downlink_bps: float,
         loss_rate: float = 0.0,
+        fast_forward: bool = True,
     ):
         if downlink_bps <= 0:
             raise ValueError("bandwidth must be positive")
@@ -280,6 +349,10 @@ class AccessLink:
         self.downlink_bps = downlink_bps
         #: Per-packet loss probability (halves a connection's window).
         self.loss_rate = loss_rate
+        #: Coalesce consecutive refresh ticks into inline clock advances.
+        #: Bit-identical either way; off is the reference event-per-tick
+        #: path the equivalence suite compares against.
+        self.fast_forward = fast_forward
         self.channels: List[Channel] = []
         self._last_update = sim.now
         self._tick_event: Optional[Event] = None
@@ -296,6 +369,12 @@ class AccessLink:
         self.bytes_retired = 0.0
         #: Seconds during which at least one stream was receiving bytes.
         self.busy_time = 0.0
+        #: Deterministic perf counters: poke sweeps (direct calls plus one
+        #: per refresh step, inline or heap), refresh steps taken inline,
+        #: and full water-filling recomputations (signature misses).
+        self.pokes = 0
+        self.ff_steps = 0
+        self.rate_recomputes = 0
 
     def open_channel(
         self,
@@ -312,23 +391,34 @@ class AccessLink:
         now = self.sim.now
         dt = now - self._last_update
         if dt > _EPS_TIME:
-            if any(
-                channel.active_streams() for channel in self.channels
-            ):
-                self.busy_time += dt
+            # Hot loop: skip idle channels outright (growing a window by
+            # zero bytes and registering a zero-byte delivery are no-ops)
+            # and accumulate the link total in a local.  The float
+            # operations and their order are identical to the naive loop.
+            delivered_total = self.bytes_delivered
+            lossy = self.loss_rate > 0
+            busy = False
             for channel in self.channels:
+                active = channel.active_streams()
+                if not active:
+                    continue
+                busy = True
                 channel_delivered = 0.0
-                for stream in channel.active_streams():
+                for stream in active:
                     delta = stream.rate * dt
                     stream.bytes_done = min(
                         stream.bytes_total, stream.bytes_done + delta
                     )
                     channel_delivered += delta
-                    self.bytes_delivered += delta
+                    delivered_total += delta
                 channel.grow_window(channel_delivered)
-                channel._register_delivery(channel_delivered)
+                if lossy:
+                    channel._register_delivery(channel_delivered)
                 if channel_delivered > 0:
                     channel._last_busy_at = now
+            if busy:
+                self.busy_time += dt
+            self.bytes_delivered = delivered_total
         self._last_update = now
 
     def _busy_channels(self) -> List[Channel]:
@@ -353,6 +443,7 @@ class AccessLink:
         )
         if signature == self._rates_sig:
             return self._rates
+        self.rate_recomputes += 1
         rates: Dict[int, float] = {}
         remaining = list(busy)
         budget = total_byte_rate
@@ -377,28 +468,55 @@ class AccessLink:
         self._rates = rates
         return rates
 
-    def _recompute(self) -> None:
+    def _assign_and_horizon(self) -> Optional[float]:
+        """Assign per-stream rates; return seconds until they next change.
+
+        Returns None when the link is idle or nothing bounds the current
+        piecewise-constant segment (no refresh tick is needed).
+        """
         busy = self._busy_channels()
         if not busy:
-            if self._tick_event is not None:
-                self._tick_event.cancel()
-                self._tick_event = None
-            return
-        rates = self._channel_rates(busy)
-        cwnd_limited = False
-        for channel in busy:
-            rate = rates.get(channel.id, 0.0)
+            return None
+        if len(busy) == 1:
+            # Fast path for the dominant case (one connection carrying
+            # traffic, e.g. HTTP/2 push-all): same arithmetic as the
+            # generic path below, minus the dict and method-call churn.
+            channel = busy[0]
+            cap = channel.rate_cap()
+            rate = min(self.downlink_bps / 8.0, cap)
             channel.assign_rates(rate)
-            if channel.rate_cap() <= rate + _EPS_BYTES:
-                cwnd_limited = True
-        horizon = None
-        for channel in busy:
+            cwnd_limited = cap <= rate + _EPS_BYTES
+            horizon = None
             for stream in channel.active_streams():
-                if stream.rate <= 0:
+                stream_rate = stream.rate
+                if stream_rate <= 0:
                     continue
-                eta = stream.next_threshold() / stream.rate
+                target = stream.bytes_total
+                cursor = stream._watch_cursor
+                if cursor < len(stream._watches):
+                    watch = stream._watches[cursor][0]
+                    if watch < target:
+                        target = watch
+                remaining = target - stream.bytes_done
+                eta = remaining / stream_rate if remaining > 0 else 0.0
                 if horizon is None or eta < horizon:
                     horizon = eta
+        else:
+            rates = self._channel_rates(busy)
+            cwnd_limited = False
+            for channel in busy:
+                rate = rates.get(channel.id, 0.0)
+                channel.assign_rates(rate)
+                if channel.rate_cap() <= rate + _EPS_BYTES:
+                    cwnd_limited = True
+            horizon = None
+            for channel in busy:
+                for stream in channel.active_streams():
+                    if stream.rate <= 0:
+                        continue
+                    eta = stream.next_threshold() / stream.rate
+                    if horizon is None or eta < horizon:
+                        horizon = eta
         if cwnd_limited:
             # Windows open continuously; refresh piecewise-constant rates
             # a few times per RTT while any connection is in slow start.
@@ -409,11 +527,30 @@ class AccessLink:
             if min_rtt > 0:
                 refresh = min_rtt / 2.0
                 horizon = refresh if horizon is None else min(horizon, refresh)
+        return horizon
+
+    def _reschedule(self, horizon: Optional[float]) -> None:
         if self._tick_event is not None:
             self._tick_event.cancel()
             self._tick_event = None
         if horizon is not None:
-            self._tick_event = self.sim.schedule(max(0.0, horizon), self.poke)
+            self._tick_event = self.sim.schedule(max(0.0, horizon), self._tick)
+
+    def _step(self) -> None:
+        """Integrate progress to ``sim.now`` and fire due watches/completions."""
+        self._advance()
+        for channel in self.channels:
+            retired = False
+            # fire_ready only defers callbacks (call_soon), so iterating
+            # the live list is safe; rebuild it only when a stream ended.
+            for stream in channel.streams:
+                stream.fire_ready(self.sim)
+                if stream.done:
+                    retired = True
+            if retired:
+                channel.streams = [
+                    stream for stream in channel.streams if not stream.done
+                ]
 
     def poke(self) -> None:
         """Advance progress, fire due watches/completions, recompute rates."""
@@ -421,16 +558,150 @@ class AccessLink:
             return
         self._in_poke = True
         try:
-            self._advance()
-            for channel in self.channels:
-                for stream in list(channel.streams):
-                    stream.fire_ready(self.sim)
-                channel.streams = [
-                    stream for stream in channel.streams if not stream.done
-                ]
-            self._recompute()
+            self.pokes += 1
+            self._step()
+            self._reschedule(self._assign_and_horizon())
         finally:
             self._in_poke = False
+
+    def _tick(self) -> None:
+        """Refresh-tick callback: one poke, then fast-forward while silent.
+
+        Each loop iteration performs exactly the work one scheduled poke
+        would have, at exactly the time that poke would have run; the jump
+        to the next step happens via :meth:`Simulator.advance_inline`,
+        which refuses whenever any pending heap event — a foreign model's
+        callback, a watch just fired through ``call_soon``, or the run's
+        ``until`` cap — could observe the coalescing.  A refused advance
+        falls back to scheduling a regular tick, reproducing the
+        event-per-tick trace bit for bit.
+        """
+        if self._in_poke:
+            return
+        self._tick_event = None
+        self._in_poke = True
+        try:
+            while True:
+                self.pokes += 1
+                self._step()
+                horizon = self._assign_and_horizon()
+                if horizon is None:
+                    self._reschedule(None)
+                    return
+                if not self.fast_forward:
+                    self._reschedule(horizon)
+                    return
+                if not self.sim.advance_inline(
+                    self.sim.now + max(0.0, horizon)
+                ):
+                    self._reschedule(horizon)
+                    return
+                self.ff_steps += 1
+                if not audit.ENABLED:
+                    self._coalesce()
+        finally:
+            self._in_poke = False
+
+    def _coalesce(self) -> None:
+        """Batch consecutive silent refresh steps entirely in locals.
+
+        Specialised for the dominant slow-start drain shape — one FAIR
+        connection carrying one stream — this performs the same per-step
+        float operations in the same order as the generic loop in
+        :meth:`_tick`, but keeps all state in locals and checks the heap
+        head once (nothing can schedule or cancel during the silent
+        window, so it cannot change).  On any deviation from that regime
+        it writes the state back and returns; the generic loop then
+        redoes the boundary step from unchanged observable state.
+        """
+        busy = self._busy_channels()
+        if len(busy) != 1:
+            return
+        channel = busy[0]
+        if channel.scheduling is not StreamScheduling.FAIR or channel.rtt <= 0:
+            return
+        active = channel.active_streams()
+        if len(active) != 1:
+            return
+        stream = active[0]
+        rate_s = stream.rate
+        if rate_s <= 0:
+            return
+        sim = self.sim
+        next_heap = sim.peek_time()
+        until = sim._until
+        share = self.downlink_bps / 8.0
+        rtt = channel.rtt
+        refresh = rtt / 2.0
+        lossy = self.loss_rate > 0
+        total = stream.bytes_total
+        cursor = stream._watch_cursor
+        if cursor < len(stream._watches):
+            watch = stream._watches[cursor][0]
+            target_bytes = watch if watch < total else total
+        else:
+            target_bytes = total
+        now = sim._now
+        last_update = self._last_update
+        done = stream.bytes_done
+        cwnd = channel.cwnd
+        btnl = channel._bytes_to_next_loss
+        loss_count = channel._loss_count
+        delivered = self.bytes_delivered
+        busy_time = self.busy_time
+        last_busy = None
+        steps = 0
+        while True:
+            dt = now - last_update
+            if dt > _EPS_TIME:
+                # One stream: channel_delivered == delta, exactly.
+                delta = rate_s * dt
+                done = min(total, done + delta)
+                delivered += delta
+                cwnd = min(MAX_CWND_BYTES, cwnd + delta)
+                if lossy:
+                    btnl -= delta
+                    while btnl <= 0:
+                        loss_count += 1
+                        cwnd = max(INITIAL_CWND_BYTES, cwnd / 2.0)
+                        btnl += channel._sample_loss_gap(
+                            seed_extra=loss_count
+                        )
+                busy_time += dt
+                last_busy = now
+            last_update = now
+            if done + _EPS_BYTES >= target_bytes:
+                break
+            cap = min(cwnd, MAX_CWND_BYTES) / rtt
+            rate = min(share, cap)
+            # FAIR split over one stream: byte_rate / 1 == byte_rate.
+            rate_s = rate
+            remaining = target_bytes - done
+            eta = remaining / rate_s if remaining > 0 else 0.0
+            horizon = min(eta, refresh) if cap <= rate + _EPS_BYTES else eta
+            target_t = now + (horizon if horizon > 0.0 else 0.0)
+            if target_t <= now:
+                break
+            if until is not None and target_t > until:
+                break
+            if next_heap is not None and next_heap <= target_t:
+                break
+            now = target_t
+            steps += 1
+        stream.bytes_done = done
+        stream.rate = rate_s
+        channel.cwnd = cwnd
+        channel._bytes_to_next_loss = btnl
+        channel._loss_count = loss_count
+        if last_busy is not None:
+            channel._last_busy_at = last_busy
+        self.bytes_delivered = delivered
+        self.busy_time = busy_time
+        self._last_update = last_update
+        sim._now = now
+        sim.inline_advances += steps
+        self.pokes += steps
+        self.ff_steps += steps
 
     def active_stream_count(self) -> int:
         return sum(

@@ -10,6 +10,19 @@ so models that churn timer events (e.g. the link's rate-refresh tick) never
 drag a long tail of dead events through every ``heappop``.  The live-event
 count is maintained incrementally, making :meth:`Simulator.pending` O(1)
 instead of an O(n) scan.
+
+For models that tick themselves repeatedly (again, the link's refresh
+tick), :meth:`Simulator.advance_inline` lets the *currently executing*
+callback move the clock forward without a heap round-trip.  The advance is
+refused unless it is unobservable — strictly forward, strictly before the
+next pending event, and within the active ``run(until=...)`` cap — so a
+model that checks the return value executes the exact same callbacks at
+the exact same times as its event-per-tick equivalent.
+
+The deterministic perf counters (``events_scheduled``, ``executed``,
+``events_cancelled``, ``inline_advances``, ``compactions``) depend only on
+the event trace, never on wall time, so they are stable across machines
+and usable as CI regression goldens.
 """
 
 from __future__ import annotations
@@ -59,12 +72,20 @@ class Simulator:
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
+        #: ``until`` cap of the active :meth:`run`, honoured by
+        #: :meth:`advance_inline`; None outside a capped run.
+        self._until: Optional[float] = None
         #: Cancelled events still sitting in the heap.
         self._cancelled = 0
         #: Total events executed (exposed for runaway detection / stats).
         self.executed = 0
         #: Heap rebuilds performed by lazy compaction (exposed for tests).
         self.compactions = 0
+        #: Deterministic perf counters: heap events pushed, in-heap events
+        #: cancelled, and clock advances taken inline (no heap event).
+        self.events_scheduled = 0
+        self.events_cancelled = 0
+        self.inline_advances = 0
 
     @property
     def now(self) -> float:
@@ -77,6 +98,7 @@ class Simulator:
         event = Event(self._now + delay, next(self._seq), callback)
         event.sim = self
         heapq.heappush(self._queue, event)
+        self.events_scheduled += 1
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
@@ -89,6 +111,7 @@ class Simulator:
 
     def _note_cancelled(self) -> None:
         self._cancelled += 1
+        self.events_cancelled += 1
         if (
             self._cancelled >= _COMPACT_MIN_CANCELLED
             and self._cancelled * 2 > len(self._queue)
@@ -123,6 +146,7 @@ class Simulator:
         if self._running:
             raise RuntimeError("simulator is not reentrant")
         self._running = True
+        self._until = until
         heappop = heapq.heappop
         heappush = heapq.heappush
         try:
@@ -158,7 +182,31 @@ class Simulator:
                     event.callback()
         finally:
             self._running = False
+            self._until = None
         return self._now
+
+    def advance_inline(self, target: float) -> bool:
+        """Move the clock to ``target`` from inside a running callback.
+
+        Returns True and advances only when the jump is *unobservable*:
+        strictly forward, strictly before the next pending event, and not
+        past the active ``run(until=...)`` cap.  Otherwise returns False
+        and leaves the clock untouched, so the caller falls back to
+        scheduling a regular heap event — which keeps the executed event
+        trace bit-identical to the event-per-tick engine.
+        """
+        if target <= self._now:
+            return False
+        if self._until is not None and target > self._until:
+            return False
+        next_time = self.peek_time()
+        if next_time is not None and next_time <= target:
+            return False
+        if audit.ENABLED:
+            audit.fast_forward_bounds(self._now, target, next_time)
+        self._now = target
+        self.inline_advances += 1
+        return True
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, if any."""

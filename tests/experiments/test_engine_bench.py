@@ -1,0 +1,78 @@
+"""Contract tests for the engine micro-benchmark behind ``repro bench``."""
+
+import pytest
+
+from repro.experiments.engine_bench import (
+    SCENARIOS,
+    SMOKE_GOLDENS,
+    EngineScenario,
+    bench_scenario,
+    smoke_check,
+    smoke_counters,
+    smoke_run,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return smoke_run()
+
+
+def test_smoke_matches_pinned_goldens(smoke_report):
+    """The deterministic counters equal the goldens CI asserts."""
+    assert smoke_check(smoke_report) == []
+
+
+def test_scenarios_and_goldens_agree():
+    assert sorted(SMOKE_GOLDENS) == sorted(s.name for s in SCENARIOS)
+
+
+def test_smoke_check_flags_drift(smoke_report):
+    import copy
+
+    drifted = copy.deepcopy(smoke_report)
+    drifted["scenarios"][0]["counters_fast_forward"]["link_pokes"] += 1
+    problems = smoke_check(drifted)
+    assert len(problems) == 1
+    assert "link_pokes" in problems[0]
+
+
+def test_smoke_check_flags_missing_scenario(smoke_report):
+    trimmed = {"scenarios": smoke_report["scenarios"][1:]}
+    problems = smoke_check(trimmed)
+    assert any("missing from report" in problem for problem in problems)
+
+
+def test_acceptance_ratios(smoke_report):
+    """The ISSUE's perf criteria, on counters only (wall-clock is not
+    asserted in CI — single-repeat walls are too noisy)."""
+    rows = {row["scenario"]: row for row in smoke_report["scenarios"]}
+    assert rows["push-all-high-rtt"]["event_reduction"] >= 2.0
+    assert rows["single-stream-drain"]["event_reduction"] >= 2.0
+    for row in rows.values():
+        assert row["bit_identical"] is True
+        assert row["plt"] > 0
+
+
+def test_counters_cover_both_modes(smoke_report):
+    observed = smoke_counters(smoke_report)
+    for scenario, counters in observed.items():
+        assert counters["events_scheduled_fast_forward"] <= (
+            counters["events_scheduled_event_per_tick"]
+        ), scenario
+
+
+def test_custom_scenario_runs_and_verifies():
+    """bench_scenario verifies bit-identity on arbitrary shapes, not
+    just the pinned ones — the suite is reusable for new scenarios."""
+    scenario = EngineScenario(
+        name="tiny",
+        description="tiny drain",
+        kind="synthetic",
+        images=1,
+        image_bytes=200_000,
+        base_rtt=0.05,
+        loss_rate=0.0,
+    )
+    row = bench_scenario(scenario, repeats=1)
+    assert row["bit_identical"] is True

@@ -42,6 +42,26 @@ class TestJobDecomposition:
         assert resolve_workers(None) >= 1
         assert resolve_workers(0) >= 1
 
+    def test_resolve_workers_auto_sizes_to_cpus(self):
+        import os
+
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_resolve_workers_clamped_by_jobs(self):
+        assert resolve_workers(8, jobs=3) == 3
+        assert resolve_workers(2, jobs=3) == 2
+        assert resolve_workers(None, jobs=1) == 1
+        # Degenerate job counts still yield a usable worker count.
+        assert resolve_workers(8, jobs=0) == 1
+
+    def test_sweep_records_effective_workers(self, pages):
+        _, perf = run_sweep(
+            pages, ["http2"], workers=64, cache=SnapshotCache()
+        )
+        # 3 pages x 1 config = 3 jobs: the pool never exceeds the jobs.
+        assert perf.workers == 3
+
 
 class TestDeterminism:
     """Parallel output must be bit-identical to the serial path."""

@@ -1,0 +1,124 @@
+"""Fast-forward equivalence: coalesced hot path vs event-per-tick.
+
+The link's fast-forward mode (``NetworkConfig.link_fast_forward``) may
+only ever be a *performance* knob: every observable — PLT, speed index,
+byte counts, timelines, the critical path — must be bit-identical to the
+event-per-tick engine, because inline advances are restricted to windows
+where no other event could observe the clock.  This suite sweeps corpus
+pages × configurations × loss × fault plans and asserts full
+:class:`LoadMetrics` equality (``engine_counters`` is excluded from
+dataclass comparison by design — the counters are *supposed* to differ).
+"""
+
+import pytest
+
+from repro import audit
+from repro.baselines.configs import run_config
+from repro.browser.engine import BrowserConfig, load_page
+from repro.calibration import DEFAULT_EVAL_HOUR
+from repro.core.push_policy import PushPolicy
+from repro.core.scheduler import FetchAsapScheduler
+from repro.core.server import vroom_servers
+from repro.net.faults import ResiliencePolicy, hint_fault_plan
+from repro.net.http import NetworkConfig
+from repro.net.link import StreamScheduling
+
+CONFIGS = ["http2", "vroom", "push-all-fetch-asap"]
+
+#: fault plan × resilience pairs: faulted runs need retries/timeouts or
+#: the load legitimately wedges (that guard is its own test elsewhere).
+FAULT_PLANS = {
+    "no-faults": (None, None),
+    "hint-faults": (hint_fault_plan(0.3, seed=7), ResiliencePolicy()),
+}
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+@pytest.mark.parametrize("faults", sorted(FAULT_PLANS))
+def test_metrics_bit_identical(corpus, stamp, config, faults):
+    """off == on for every config × fault plan, across two pages."""
+    from repro.replay.recorder import record_snapshot
+
+    fault_plan, resilience = FAULT_PLANS[faults]
+    for page in corpus[:2]:
+        snapshot = page.materialize(stamp)
+        store = record_snapshot(snapshot)
+        off = run_config(
+            config,
+            page,
+            snapshot,
+            store,
+            fault_plan=fault_plan,
+            resilience=resilience,
+            link_fast_forward=False,
+        )
+        on = run_config(
+            config,
+            page,
+            snapshot,
+            store,
+            fault_plan=fault_plan,
+            resilience=resilience,
+            link_fast_forward=True,
+        )
+        assert off == on, (
+            f"{page.name} under {config!r}/{faults}: fast-forward "
+            f"changed observables (plt {off.plt!r} vs {on.plt!r})"
+        )
+
+
+@pytest.mark.parametrize("loss_rate", [0.0, 0.02])
+def test_lossy_link_bit_identical(page, snapshot, store, loss_rate):
+    """Loss RNG draws must line up between coalesced and per-tick runs."""
+
+    def run(fast_forward):
+        servers = vroom_servers(
+            page, snapshot, store, push_policy=PushPolicy.ALL_LOCAL
+        )
+        return load_page(
+            snapshot,
+            servers,
+            NetworkConfig(
+                h2_scheduling=StreamScheduling.FAIR,
+                loss_rate=loss_rate,
+                link_fast_forward=fast_forward,
+            ),
+            BrowserConfig(when_hours=DEFAULT_EVAL_HOUR),
+            policy=FetchAsapScheduler(),
+        )
+
+    assert run(False) == run(True)
+
+
+def test_audit_run_passes_and_stays_identical(page, snapshot, store):
+    """REPRO_AUDIT=1 end to end: the invariant hooks (including
+    fast-forward-bounds) hold, and arming them perturbs nothing."""
+    plain = run_config("vroom", page, snapshot, store, link_fast_forward=True)
+    audit.enable()
+    try:
+        audited = run_config(
+            "vroom", page, snapshot, store, link_fast_forward=True
+        )
+    finally:
+        audit.disable()
+    assert audited == plain
+
+
+def test_counters_surface_on_metrics(page, snapshot, store):
+    """LoadMetrics carries the deterministic engine counter block."""
+    metrics = run_config(
+        "push-all-fetch-asap", page, snapshot, store, link_fast_forward=True
+    )
+    counters = metrics.engine_counters
+    assert counters["events_scheduled"] > 0
+    assert counters["events_executed"] > 0
+    assert counters["link_pokes"] > 0
+    assert counters["inline_advances"] >= counters["link_fast_forward_steps"]
+    off = run_config(
+        "push-all-fetch-asap", page, snapshot, store, link_fast_forward=False
+    )
+    assert off.engine_counters["link_fast_forward_steps"] == 0
+    assert off.engine_counters["inline_advances"] == 0
+    # pokes mirror one-per-tick no matter the mode: coalesced steps
+    # replace heap events one for one, never skipping or adding work.
+    assert off.engine_counters["link_pokes"] == counters["link_pokes"]

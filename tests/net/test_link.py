@@ -249,3 +249,97 @@ class TestCongestionWindow:
         sim = Simulator()
         with pytest.raises(ValueError):
             AccessLink(sim, 0.0)
+
+
+class TestWatchCursor:
+    """Sorted-insert + cursor bookkeeping behind the watch list."""
+
+    def test_interleaved_out_of_order_registrations(self):
+        """Watches registered out of order, some mid-transfer after
+        earlier ones fired, still fire in offset order at exact times."""
+        sim, link = make_link(8.0e6)  # 1 MB/s
+        channel = link.open_channel()
+        hits = []
+        stream = channel.start_stream(1_000_000, lambda: hits.append("done"))
+        stream.watch_offset(600_000, lambda: hits.append("c"))
+        stream.watch_offset(200_000, lambda: hits.append("a"))
+        stream.watch_offset(400_000, lambda: hits.append("b"))
+
+        def mid_transfer():
+            # 300 KB arrived: "a" has fired, cursor sits before "b".
+            stream.watch_offset(500_000, lambda: hits.append("b2"))
+            stream.watch_offset(320_000, lambda: hits.append("a2"))
+
+        sim.schedule(0.3, mid_transfer)
+        sim.run()
+        assert hits == ["a", "a2", "b", "b2", "c", "done"]
+
+    def test_equal_offsets_fire_in_registration_order(self):
+        sim, link = make_link(8.0e6)
+        channel = link.open_channel()
+        hits = []
+        stream = channel.start_stream(1_000_000, lambda: None)
+        stream.watch_offset(250_000, lambda: hits.append("first"))
+        stream.watch_offset(250_000, lambda: hits.append("second"))
+        sim.run()
+        assert hits == ["first", "second"]
+
+    def test_cursor_resets_after_drain(self):
+        """Once every watch fired, a fresh registration starts a new
+        list rather than appending after a stale cursor."""
+        sim, link = make_link(8.0e6)
+        channel = link.open_channel()
+        hits = []
+        stream = channel.start_stream(1_000_000, lambda: None)
+        stream.watch_offset(100_000, lambda: hits.append("early"))
+
+        def late():
+            assert stream._watches == []
+            assert stream._watch_cursor == 0
+            stream.watch_offset(800_000, lambda: hits.append("late"))
+
+        sim.schedule(0.5, late)
+        sim.run()
+        assert hits == ["early", "late"]
+
+
+class TestFastForwardMode:
+    """The coalesced hot path must match event-per-tick bit for bit."""
+
+    def _drain(self, fast_forward, loss_rate=0.0):
+        sim = Simulator()
+        link = AccessLink(
+            sim, 8.0e6, loss_rate=loss_rate, fast_forward=fast_forward
+        )
+        channel = link.open_channel(rtt=0.2)
+        done = []
+        hits = []
+        stream = channel.start_stream(4_000_000, lambda: done.append(sim.now))
+        stream.watch_offset(1_000_000, lambda: hits.append(sim.now))
+        sim.run()
+        return done, hits, link.bytes_delivered, channel._loss_count
+
+    def test_drain_identical_with_and_without(self):
+        assert self._drain(False) == self._drain(True)
+
+    def test_lossy_drain_identical_with_and_without(self):
+        off = self._drain(False, loss_rate=0.02)
+        on = self._drain(True, loss_rate=0.02)
+        assert off == on
+        assert off[3] > 0, "loss must actually occur for this to test RNG"
+
+    def test_fast_forward_coalesces_heap_events(self):
+        def events_scheduled(fast_forward):
+            sim = Simulator()
+            link = AccessLink(
+                sim, 8.0e6, loss_rate=0.02, fast_forward=fast_forward
+            )
+            channel = link.open_channel(rtt=0.2)
+            channel.start_stream(8_000_000, lambda: None)
+            sim.run()
+            return sim.events_scheduled, link.pokes
+
+        off_events, off_pokes = events_scheduled(False)
+        on_events, on_pokes = events_scheduled(True)
+        assert on_events < off_events / 2
+        assert on_pokes == off_pokes, "inline steps must mirror heap ticks"

@@ -178,3 +178,71 @@ class TestRunControls:
             sim.schedule(1.0, lambda: None)
         sim.run()
         assert sim.executed == 5
+
+
+class TestInlineAdvance:
+    """Fast-forward contract: only silent, strictly-forward windows."""
+
+    def test_advance_moves_clock_and_counts(self):
+        sim = Simulator()
+        assert sim.advance_inline(1.5) is True
+        assert sim.now == 1.5
+        assert sim.inline_advances == 1
+
+    def test_declines_backward_and_same_time(self):
+        sim = Simulator()
+        sim.advance_inline(1.0)
+        assert sim.advance_inline(1.0) is False
+        assert sim.advance_inline(0.5) is False
+        assert sim.now == 1.0
+        assert sim.inline_advances == 1
+
+    def test_declines_when_event_pending_at_or_before_target(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        assert sim.advance_inline(2.0) is False
+        assert sim.advance_inline(2.5) is False
+        assert sim.advance_inline(1.9) is True
+        assert sim.now == 1.9
+
+    def test_cancelled_head_does_not_block(self):
+        """Only *live* events bound the jump; lazily-cancelled heap
+        heads are drained by peek_time rather than declining forever."""
+        sim = Simulator()
+        event = sim.schedule(2.0, lambda: None)
+        sim.schedule(5.0, lambda: None)
+        event.cancel()
+        assert sim.advance_inline(3.0) is True
+        assert sim.now == 3.0
+        assert sim.advance_inline(6.0) is False
+
+    def test_declines_past_run_until(self):
+        sim = Simulator()
+        outcomes = []
+
+        def probe():
+            outcomes.append(sim.advance_inline(5.0))
+            outcomes.append(sim.advance_inline(3.0))
+
+        sim.schedule(1.0, probe)
+        sim.run(until=4.0)
+        assert outcomes == [False, True]
+
+    def test_schedule_and_cancel_counters(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.events_scheduled == 2
+        assert sim.events_cancelled == 1
+
+    def test_cancel_after_pop_not_counted(self):
+        sim = Simulator()
+        holder = []
+
+        def fire():
+            holder[0].cancel()
+
+        holder.append(sim.schedule(1.0, fire))
+        sim.run()
+        assert sim.events_cancelled == 0

@@ -145,3 +145,25 @@ class TestCorpusGuards:
     def test_resilience_rejects_nonpositive_count(self, capsys):
         assert main(["resilience", "--count", "-2"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_engine_smoke_passes_and_writes_report(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "engine.json")
+        assert main(["bench", "engine", "--smoke", "--report", path]) == 0
+        out = capsys.readouterr().out
+        assert "single-stream-drain" in out
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["benchmark"] == "engine"
+        rows = {row["scenario"]: row for row in payload["scenarios"]}
+        assert rows["push-all-high-rtt"]["event_reduction"] >= 2.0
+        assert all(row["bit_identical"] for row in rows.values())
+
+    def test_engine_rejects_unknown_target(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["bench", "nope"])
