@@ -171,6 +171,7 @@ def test_perf_parallel_sweep_vs_serial(benchmark):
                 "jobs": serial_perf.jobs,
                 "cpu_count": cpus,
                 "workers": effective_workers,
+                "mode": parallel_perf.mode,
                 "serial_elapsed_sec": serial_elapsed,
                 "parallel_elapsed_sec": parallel_elapsed,
                 "serial_jobs_per_sec": serial_perf.jobs_per_sec,

@@ -26,6 +26,12 @@ checked *while a load runs* instead:
   event-coalesced fast path) only ever jumps strictly forward and
   strictly before the next pending heap event, so coalescing is
   unobservable to every other model.
+* **busy-set-cache** — the batched executor's incrementally maintained
+  busy-channel set always equals a fresh recomputation from stream
+  state (stale entries would silently misallocate bandwidth).
+* **waterfill-fast-path** — the closed-form 1–3-connection
+  water-filling allocation is bit-identical to the general iterative
+  solver on the same inputs.
 
 This module sits at layer 0 of the package DAG (like
 :mod:`repro.calibration`): it imports nothing from ``repro``, so every
@@ -60,6 +66,8 @@ __all__ = [
     "fetch_bytes_accounted",
     "bytes_conserved",
     "fast_forward_bounds",
+    "busy_set_matches",
+    "waterfill_equivalent",
 ]
 
 
@@ -241,6 +249,39 @@ def fast_forward_bounds(
             "fast-forward-bounds",
             f"inline advance to {target!r} reaches past the next pending "
             f"event at {next_event!r}",
+        )
+
+
+def busy_set_matches(
+    cached_ids: "list[int]",
+    recomputed_ids: "list[int]",
+) -> None:
+    """The memoised busy-channel set equals a fresh recomputation.
+
+    Both arguments are channel ids in link order; the cache must be
+    invalidated on every stream start, completion, and abort, so any
+    difference means a missed invalidation hook.
+    """
+    if cached_ids != recomputed_ids:
+        raise AuditError(
+            "busy-set-cache",
+            f"cached busy channels {cached_ids!r} != recomputed "
+            f"{recomputed_ids!r} (missed invalidation)",
+        )
+
+
+def waterfill_equivalent(
+    caps: "list[float]",
+    budget: float,
+    fast: "list[float]",
+    general: "list[float]",
+) -> None:
+    """Closed-form water-filling matches the general solver bit for bit."""
+    if fast != general:
+        raise AuditError(
+            "waterfill-fast-path",
+            f"closed-form allocation {fast!r} != general solver "
+            f"{general!r} for caps {caps!r} budget {budget!r}",
         )
 
 

@@ -20,7 +20,7 @@ from repro.calibration import (
     CPU_PER_RESOURCE_OVERHEAD,
     DEVICE_CPU_SPEEDUP,
 )
-from repro.net.simulator import Simulator
+from repro.net.simulator import SimulatorLike
 from repro.pages.resources import ResourceType
 
 
@@ -89,7 +89,7 @@ class CpuQueue:
     started — a renderer's run-to-completion event loop.
     """
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: SimulatorLike):
         self.sim = sim
         self._bands: List[List[Tuple[float, Callable[[], None]]]] = [
             [], [], [],
@@ -168,4 +168,4 @@ class CpuQueue:
             on_done()
             self._kick()
 
-        self.sim.schedule(duration, finish)
+        self.sim.schedule_drop(duration, finish)

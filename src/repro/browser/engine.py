@@ -25,7 +25,7 @@ from repro.browser.metrics import (
 from repro.browser.parser import DocumentParse
 from repro.net.http import Fetch, HttpClient, NetworkConfig, PushedResponse
 from repro.net.origin import OriginServer
-from repro.net.simulator import Simulator
+from repro.net.simulator import ArraySimulator, Simulator, SimulatorLike
 from repro.pages.page import PageSnapshot
 from repro.pages.resources import PROCESSABLE_TYPES, Resource, ResourceType
 
@@ -156,8 +156,15 @@ class PageLoadEngine:
     ):
         self.snapshot = snapshot
         self.snapshot_urls = snapshot.by_url()
-        self.sim = Simulator()
         self.net_config = net_config or NetworkConfig()
+        # Both executors share one contract and produce bit-identical
+        # event traces; batched_timeline only changes how much each event
+        # costs in wall time (see net/simulator.py).
+        self.sim: SimulatorLike = (
+            ArraySimulator()
+            if self.net_config.batched_timeline
+            else Simulator()
+        )
         self.browser_config = browser_config or BrowserConfig()
         self.cpu_profile = self.browser_config.cpu_profile()
         self.cpu = CpuQueue(self.sim)
@@ -186,6 +193,11 @@ class PageLoadEngine:
         #: True once any resource has terminally failed; gates the
         #: orphan walk so fault-free loads pay nothing for it.
         self._any_failed = False
+        #: URL whose obligation blocked the previous :meth:`_check_done`
+        #: scan.  Checking it first turns the (very common) still-blocked
+        #: case into O(1); the full scan is a universally-quantified
+        #: check, so scan order never changes the outcome.
+        self._done_blocker: Optional[str] = None
         self.wasted_bytes = 0.0
 
     # -- CPU helpers -------------------------------------------------------
@@ -271,7 +283,7 @@ class PageLoadEngine:
         entry = self.cache.lookup(url, self.browser_config.when_hours)
         if entry is not None:
             timeline.from_cache = True
-            self.sim.schedule(
+            self.sim.schedule_drop(
                 self.browser_config.cache_hit_latency,
                 lambda: self._fetched(url, from_cache=True),
             )
@@ -417,7 +429,7 @@ class PageLoadEngine:
                 state._decode_queued = True
                 # Image decode/raster happens off the main thread (Chrome's
                 # impl side), so it costs wall time but no renderer CPU.
-                self.sim.schedule(
+                self.sim.schedule_drop(
                     self._cpu_time(
                         self.cpu_profile.decode_time(resource.size)
                     ),
@@ -728,34 +740,41 @@ class PageLoadEngine:
             return
         if not self._root_parse_done or self._layout_done_at is None:
             return
-        doc_parses = self._doc_parses
-        for url, state in self._states.items():
-            resource = state.resource
-            if resource is None:
-                continue
-            if state.timeline.discovered_at is None:
-                continue
-            if state.failed:
-                continue
-            if (
-                self._any_failed
-                and not state.locally_referenced
-                and self._orphaned(resource)
-            ):
-                continue
-            if not state.fetched:
+        blocker = self._done_blocker
+        if blocker is not None:
+            state = self._states.get(blocker)
+            if state is not None and self._blocks_onload(blocker, state):
                 return
-            spec = resource.spec
-            if spec.rtype is ResourceType.HTML:
-                parse = doc_parses.get(url)
-                if parse is None or not parse.finished:
-                    return
-            elif spec.rtype in PROCESSABLE_TYPES:
-                if not state.processed:
-                    return
-            elif not state.decoded:
+        for url, state in self._states.items():
+            if self._blocks_onload(url, state):
+                self._done_blocker = url
                 return
         self.onload_at = self.sim.now
+
+    def _blocks_onload(self, url: str, state: _ResourceState) -> bool:
+        """Whether ``url``'s obligations still hold onload back."""
+        resource = state.resource
+        if resource is None:
+            return False
+        if state.timeline.discovered_at is None:
+            return False
+        if state.failed:
+            return False
+        if (
+            self._any_failed
+            and not state.locally_referenced
+            and self._orphaned(resource)
+        ):
+            return False
+        if not state.fetched:
+            return True
+        rtype = resource.spec.rtype
+        if rtype is ResourceType.HTML:
+            parse = self._doc_parses.get(url)
+            return parse is None or not parse.finished
+        if rtype in PROCESSABLE_TYPES:
+            return not state.processed
+        return not state.decoded
 
     # -- driving ----------------------------------------------------------------
 
@@ -797,7 +816,7 @@ class PageLoadEngine:
                 )
             )
             if self.onload_at is None:
-                self.sim.schedule(interval, sample)
+                self.sim.schedule_drop(interval, sample)
 
         sample()
 
@@ -827,7 +846,7 @@ class PageLoadEngine:
                     still_waiting.append(doc)
             waiting[:] = still_waiting
             if waiting:
-                self.sim.schedule(0.005, poll)
+                self.sim.schedule_drop(0.005, poll)
 
         poll()
 
@@ -881,6 +900,9 @@ class PageLoadEngine:
                 "link_pokes": self.client.link.pokes,
                 "link_fast_forward_steps": self.client.link.ff_steps,
                 "link_rate_recomputes": self.client.link.rate_recomputes,
+                "link_batch_runs": self.client.link.batch_runs,
+                "link_batch_steps": self.client.link.batch_steps,
+                "link_wf_fast_hits": self.client.link.wf_fast_hits,
             },
         )
 

@@ -476,11 +476,12 @@ def cmd_service(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    """Engine micro-benchmark: fast-forward hot path vs event-per-tick."""
+    """Engine micro-benchmark: the three executor modes, head to head."""
     import json
 
     from repro.experiments.engine_bench import (
         engine_benchmark,
+        profile_scenario,
         smoke_check,
         smoke_run,
     )
@@ -497,17 +498,23 @@ def cmd_bench(args) -> int:
 
     def print_rows(report) -> None:
         print(
-            f"{'scenario':<22} {'events off':>10} {'events on':>10} "
-            f"{'reduction':>9} {'speedup':>8}"
+            f"{'scenario':<22} {'events ept':>10} {'events bat':>10} "
+            f"{'ff spdup':>8} {'bat spdup':>9}"
         )
         for row in report["scenarios"]:
             print(
                 f"{row['scenario']:<22} "
                 f"{row['counters_event_per_tick']['events_scheduled']:>10} "
-                f"{row['counters_fast_forward']['events_scheduled']:>10} "
-                f"{row['event_reduction']:>8.2f}x "
-                f"{row['wall_speedup']:>7.2f}x"
+                f"{row['counters_batched']['events_scheduled']:>10} "
+                f"{row['wall_speedup']:>7.2f}x "
+                f"{row['wall_batched_speedup']:>8.2f}x"
             )
+
+    if getattr(args, "profile", None):
+        table = profile_scenario(args.profile)
+        print(table)
+        print(f"profile written to {args.profile}")
+        return 0
 
     if args.smoke:
         report = smoke_run()
@@ -828,7 +835,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--smoke",
         action="store_true",
-        help="single repeat + assert the pinned deterministic counters",
+        help=(
+            "assert the pinned deterministic counters and the batched "
+            "speedup floors"
+        ),
+    )
+    bench.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help=(
+            "cProfile the batched corpus-news load: dump raw stats to "
+            "PATH and print the top-25 cumulative table"
+        ),
     )
     _add_audit_arg(bench)
     bench.set_defaults(func=cmd_bench)

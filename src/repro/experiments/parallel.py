@@ -94,6 +94,11 @@ class SweepPerf:
     elapsed: float
     cache_hits: int
     cache_misses: int
+    #: "inline" when the grid ran in-process (effective workers == 1 or
+    #: a single job — e.g. any 1-CPU host), "pool" when it fanned out
+    #: over a ``ProcessPoolExecutor``.  Recorded so perf reports can't
+    #: silently compare a pool-overhead run against a serial one.
+    mode: str = "inline"
 
     @property
     def jobs_per_sec(self) -> float:
@@ -108,12 +113,18 @@ class SweepPerf:
         return {
             "jobs": self.jobs,
             "workers": self.workers,
+            "mode": self.mode,
             "elapsed_sec": self.elapsed,
             "jobs_per_sec": self.jobs_per_sec,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
         }
+
+
+def grid_mode(workers: int, jobs: int) -> str:
+    """How :func:`run_metrics_grid` will execute: "inline" or "pool"."""
+    return "inline" if workers <= 1 or jobs <= 1 else "pool"
 
 
 def sweep_jobs(
@@ -164,7 +175,7 @@ def run_metrics_grid(
     """Run every (page, config) job; results in job-index order."""
     jobs = sweep_jobs(len(work), configs)
     results: List[Optional[LoadMetrics]] = [None] * len(jobs)
-    if workers <= 1 or len(jobs) <= 1:
+    if grid_mode(workers, len(jobs)) == "inline":
         _init_worker(work, config_kwargs)
         try:
             for job in jobs:
@@ -247,5 +258,6 @@ def run_sweep(
         elapsed=time.perf_counter() - started,
         cache_hits=active_cache.stats.hits - hits_before,
         cache_misses=active_cache.stats.misses - misses_before,
+        mode=grid_mode(workers, len(results)),
     )
     return run, perf

@@ -30,7 +30,7 @@ from repro import audit
 from repro.net.faults import FaultKind, FaultPlan
 from repro.net.link import AccessLink, StreamScheduling
 from repro.net.origin import OriginServer, Response
-from repro.net.simulator import Simulator
+from repro.net.simulator import SimulatorLike
 
 
 class HttpVersion(enum.Enum):
@@ -71,6 +71,16 @@ class NetworkConfig:
     #: Bit-identical to the event-per-tick path; off exists for the
     #: equivalence suite and for bisecting engine regressions.
     link_fast_forward: bool = True
+    #: Batched timeline executor: array-backed event storage
+    #: (:class:`~repro.net.simulator.ArraySimulator`) plus the link's
+    #: homogeneous-run batch loop, busy-set cache and closed-form
+    #: water-filling.  Bit-identical to the reference engine; off selects
+    #: the PR-5 per-object engine for equivalence and bisection.
+    batched_timeline: bool = True
+    #: Route general water-filling recomputes through the numpy-backed
+    #: vectorised solver (:mod:`repro.net.flow`).  Opt-in; numpy is a
+    #: soft dependency — without it the solver falls back to pure python.
+    vectorized_flow: bool = False
 
     def rtt_to(self, server: OriginServer) -> float:
         if self.zero_latency:
@@ -172,7 +182,7 @@ class HttpClient:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: SimulatorLike,
         servers: Dict[str, OriginServer],
         config: Optional[NetworkConfig] = None,
     ):
@@ -184,6 +194,8 @@ class HttpClient:
             self.config.downlink_bps,
             loss_rate=self.config.loss_rate,
             fast_forward=self.config.link_fast_forward,
+            batched=self.config.batched_timeline,
+            vectorized_flow=self.config.vectorized_flow,
         )
         self._domains: Dict[str, _DomainState] = {}
         #: url -> Fetch for every exchange ever started (including pushes).
@@ -309,7 +321,7 @@ class HttpClient:
         state.dns_waiters.append(proceed)
         if first_waiter:
             delay = 0.0 if self.config.zero_latency else DNS_LOOKUP_TIME
-            self.sim.schedule(delay, lambda: self._dns_done(domain))
+            self.sim.schedule_drop(delay, lambda: self._dns_done(domain))
 
     def _dns_done(self, domain: str) -> None:
         state = self._domain_state(domain)
@@ -427,7 +439,7 @@ class HttpClient:
         if fetch.is_push:
             # A pushed response skips the request leg entirely.
             arrival = response.think_time
-        self.sim.schedule(
+        self.sim.schedule_drop(
             arrival, lambda: self._start_response(conn, fetch, response)
         )
 
@@ -595,7 +607,7 @@ class HttpClient:
         fetch.attempt += 1
         self.retries += 1
         delay = self.config.retry_backoff * (2.0 ** (fetch.attempt - 2))
-        self.sim.schedule(delay, lambda: self._dispatch(fetch))
+        self.sim.schedule_drop(delay, lambda: self._dispatch(fetch))
 
 
 def _chain(

@@ -36,10 +36,17 @@ import random
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro import audit
-from repro.net.simulator import Event, Simulator
+from repro.net.flow import waterfill, waterfill_small, waterfill_vectorized
+from repro.net.simulator import (
+    ArraySimulator,
+    EventLike,
+    Simulator,
+    SimulatorLike,
+)
 
 _EPS_BYTES = 1e-6
 _EPS_TIME = 1e-12
+_INF = float("inf")
 
 
 class StreamScheduling(enum.Enum):
@@ -131,7 +138,7 @@ class StreamHandle:
             target = min(target, self._watches[self._watch_cursor][0])
         return max(0.0, target - self.bytes_done)
 
-    def fire_ready(self, sim: Simulator) -> None:
+    def fire_ready(self, sim: SimulatorLike) -> None:
         """Fire watches whose offsets have arrived; completion if finished."""
         watches = self._watches
         if watches:
@@ -276,17 +283,26 @@ class Channel:
                 self.cwnd = INITIAL_CWND_BYTES
         stream = StreamHandle(self, nbytes, on_complete, weight)
         self.streams.append(stream)
-        self._active_cache = None
+        self.invalidate_active()
         if nbytes == 0:
             stream.fire_ready(self.link.sim)
             self.streams.remove(stream)
-            self._active_cache = None
+            self.invalidate_active()
         else:
             self.link.poke()
         return stream
 
     def invalidate_active(self) -> None:
         self._active_cache = None
+        # Channel membership in the link's busy set may have changed too;
+        # neither the batched executor's busy cache nor its assignment
+        # memo (rates already written to an unchanged stream set) may
+        # survive this.  The generation counter keys the membership-
+        # scoped memos (FIFO heads, refresh span, weight totals).
+        link = self.link
+        link._busy_cache = None
+        link._assign_valid = False
+        link._member_gen += 1
 
     def active_streams(self) -> List[StreamHandle]:
         active = self._active_cache
@@ -336,10 +352,12 @@ class AccessLink:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: SimulatorLike,
         downlink_bps: float,
         loss_rate: float = 0.0,
         fast_forward: bool = True,
+        batched: bool = False,
+        vectorized_flow: bool = False,
     ):
         if downlink_bps <= 0:
             raise ValueError("bandwidth must be positive")
@@ -353,14 +371,59 @@ class AccessLink:
         #: Bit-identical either way; off is the reference event-per-tick
         #: path the equivalence suite compares against.
         self.fast_forward = fast_forward
+        #: Batched timeline executor: run homogeneous refresh/delivery
+        #: runs through :meth:`_run_batch` (the multi-stream
+        #: generalisation of :meth:`_coalesce`), cache the busy-channel
+        #: set, skip zero-dt sweeps, and use the closed-form water-filling
+        #: fast path.  Bit-identical to the reference paths by the same
+        #: contract as ``fast_forward``.
+        self.batched = batched
+        #: Route general water-filling recomputes through the numpy-backed
+        #: solver (soft dependency; see :mod:`repro.net.flow`).
+        self.vectorized_flow = vectorized_flow
         self.channels: List[Channel] = []
         self._last_update = sim.now
-        self._tick_event: Optional[Event] = None
+        self._tick_event: Optional[EventLike] = None
+        #: With the array-backed executor the refresh tick skips the
+        #: per-event :class:`EventHandle`: the link keeps only the raw
+        #: storage slot (-1 when no tick is pending).  The invariant that
+        #: makes slot-cancel safe: the slot is recorded only by
+        #: :meth:`_reschedule` and cleared either there (cancel) or at
+        #: :meth:`_tick` entry (execution), so a recorded slot is always
+        #: still pending in the heap.
+        self._raw_sim = sim if isinstance(sim, ArraySimulator) else None
+        self._tick_slot = -1
         self._in_poke = False
         #: Memoised water-filling result: signature of (channel id, cap)
         #: pairs -> rates.  Valid until the busy set or any cap changes.
         self._rates_sig: Optional[tuple] = None
         self._rates: Dict[int, float] = {}
+        #: Batched mode: memoised busy-channel list (in ``channels``
+        #: order, which the allocator's budget walk observes bitwise).
+        #: Invalidated by every stream start/completion/abort via
+        #: :meth:`Channel.invalidate_active`; None when stale.
+        self._busy_cache: Optional[List[Channel]] = None
+        #: Batched mode: assignment memo.  While ``_assign_valid`` holds
+        #: and the per-connection window caps equal ``_alloc_caps``, the
+        #: streams already carry exactly the rates a fresh allocation
+        #: would assign (every write since the last assignment wrote the
+        #: same values), so the poke skips both the water-filling and the
+        #: per-stream assignment and only re-derives the horizon.
+        self._assign_valid = False
+        self._alloc_caps: List[float] = []
+        self._alloc_rates: List[float] = []
+        self._alloc_limited = False
+        #: Membership generation: bumped by every stream start /
+        #: completion / abort.  Keys the membership-scoped memos below.
+        self._member_gen = 0
+        self._heads_gen = -1
+        self._memo_heads: List[Optional[StreamHandle]] = []
+        self._memo_wtotals: List[float] = []
+        self._memo_refresh = 0.0
+        #: Batched mode: force the next :meth:`_step` to run its full
+        #: watch/completion scan even at zero dt (set when a batch run
+        #: exits on a threshold crossing it has not fired yet).
+        self._scan_forced = False
         #: Total body bytes delivered (for accounting tests).
         self.bytes_delivered = 0.0
         #: Bytes carried by streams that already finished (completed or
@@ -375,6 +438,11 @@ class AccessLink:
         self.pokes = 0
         self.ff_steps = 0
         self.rate_recomputes = 0
+        #: Batched-executor counters: homogeneous runs executed, total
+        #: steps those runs absorbed, and closed-form water-filling hits.
+        self.batch_runs = 0
+        self.batch_steps = 0
+        self.wf_fast_hits = 0
 
     def open_channel(
         self,
@@ -422,9 +490,29 @@ class AccessLink:
         self._last_update = now
 
     def _busy_channels(self) -> List[Channel]:
-        return [
-            channel for channel in self.channels if channel.active_streams()
-        ]
+        if not self.batched:
+            return [
+                channel
+                for channel in self.channels
+                if channel.active_streams()
+            ]
+        busy = self._busy_cache
+        if busy is None:
+            busy = self._busy_cache = [
+                channel
+                for channel in self.channels
+                if channel.active_streams()
+            ]
+        elif audit.ENABLED:
+            audit.busy_set_matches(
+                [channel.id for channel in busy],
+                [
+                    channel.id
+                    for channel in self.channels
+                    if channel.active_streams()
+                ],
+            )
+        return busy
 
     def _channel_rates(self, busy: List[Channel]) -> Dict[int, float]:
         """Water-filling: equal shares, with cwnd-capped surplus recycled.
@@ -444,26 +532,37 @@ class AccessLink:
         if signature == self._rates_sig:
             return self._rates
         self.rate_recomputes += 1
-        rates: Dict[int, float] = {}
-        remaining = list(busy)
-        budget = total_byte_rate
-        for _ in range(len(busy) + 1):
-            if not remaining:
-                break
-            share = budget / len(remaining)
-            capped = [
-                channel
-                for channel in remaining
-                if channel.rate_cap() < share - _EPS_BYTES
-            ]
-            if not capped:
-                for channel in remaining:
-                    rates[channel.id] = share
-                break
-            for channel in capped:
-                rates[channel.id] = channel.rate_cap()
-                budget -= channel.rate_cap()
-                remaining.remove(channel)
+        rates: Dict[int, float]
+        if self.vectorized_flow:
+            # Same allocation via the numpy-backed solver (soft
+            # dependency; bit-identical by construction, see flow.py).
+            alloc = waterfill_vectorized(
+                [cap for _, cap in signature], total_byte_rate
+            )
+            rates = {
+                channel.id: rate for channel, rate in zip(busy, alloc)
+            }
+        else:
+            rates = {}
+            remaining = list(busy)
+            budget = total_byte_rate
+            for _ in range(len(busy) + 1):
+                if not remaining:
+                    break
+                share = budget / len(remaining)
+                capped = [
+                    channel
+                    for channel in remaining
+                    if channel.rate_cap() < share - _EPS_BYTES
+                ]
+                if not capped:
+                    for channel in remaining:
+                        rates[channel.id] = share
+                    break
+                for channel in capped:
+                    rates[channel.id] = channel.rate_cap()
+                    budget -= channel.rate_cap()
+                    remaining.remove(channel)
         self._rates_sig = signature
         self._rates = rates
         return rates
@@ -474,6 +573,12 @@ class AccessLink:
         Returns None when the link is idle or nothing bounds the current
         piecewise-constant segment (no refresh tick is needed).
         """
+        if self.batched and not audit.ENABLED:
+            # The batched executor's memoised variant; under audit the
+            # reference body below runs instead so every poke is checked
+            # (it still exercises the closed-form allocator, which the
+            # audit cross-validates against the iterative solver).
+            return self._assign_and_horizon_batched()
         busy = self._busy_channels()
         if not busy:
             return None
@@ -501,6 +606,36 @@ class AccessLink:
                 eta = remaining / stream_rate if remaining > 0 else 0.0
                 if horizon is None or eta < horizon:
                     horizon = eta
+        elif self.batched and len(busy) <= 3:
+            # Closed-form water-filling for the dominant 2–3-connection
+            # signatures: same floats as the general solver (audited
+            # below), minus the signature tuple, memo dict and per-call
+            # method churn.  Assignment and horizon sweeps keep the
+            # generic path's channel-then-stream order.
+            caps = [channel.rate_cap() for channel in busy]
+            total_byte_rate = self.downlink_bps / 8.0
+            alloc = waterfill_small(caps, total_byte_rate)
+            self.wf_fast_hits += 1
+            if audit.ENABLED:
+                audit.waterfill_equivalent(
+                    caps,
+                    total_byte_rate,
+                    list(alloc or []),
+                    waterfill(caps, total_byte_rate),
+                )
+            cwnd_limited = False
+            for channel, rate, cap in zip(busy, alloc or [], caps):
+                channel.assign_rates(rate)
+                if cap <= rate + _EPS_BYTES:
+                    cwnd_limited = True
+            horizon = None
+            for channel in busy:
+                for stream in channel.active_streams():
+                    if stream.rate <= 0:
+                        continue
+                    eta = stream.next_threshold() / stream.rate
+                    if horizon is None or eta < horizon:
+                        horizon = eta
         else:
             rates = self._channel_rates(busy)
             cwnd_limited = False
@@ -529,7 +664,212 @@ class AccessLink:
                 horizon = refresh if horizon is None else min(horizon, refresh)
         return horizon
 
+    def _assign_and_horizon_batched(self) -> Optional[float]:
+        """Memoised, loop-fused :meth:`_assign_and_horizon` equivalent.
+
+        Bit-identical to the reference body by construction:
+
+        * Window caps are compared against the previous assignment's; on
+          a match the per-stream rates already hold exactly the values a
+          fresh water-filling would assign, so allocation and assignment
+          are skipped outright and only the horizon is re-derived.
+        * FIFO heads, WEIGHTED weight totals and the slow-start refresh
+          span depend only on busy-set membership, so they are memoised
+          on the membership generation.
+        * The FAIR horizon uses one division per connection instead of
+          one per stream: all streams share the rate ``each``, and IEEE
+          division by a positive constant is monotonic, so
+          ``min_j(rem_j) / each`` equals ``min_j(rem_j / each)`` exactly
+          (a non-positive minimum collapses to the same 0.0 the
+          reference's ``max(0.0, ...)`` produces).
+        """
+        busy = self._busy_cache
+        if busy is None:
+            busy = self._busy_cache = [
+                channel
+                for channel in self.channels
+                if channel.active_streams()
+            ]
+        if not busy:
+            return None
+        if self._heads_gen != self._member_gen:
+            heads: List[Optional[StreamHandle]] = []
+            wtotals: List[float] = []
+            for channel in busy:
+                if channel.scheduling is StreamScheduling.FIFO:
+                    heads.append(
+                        min(
+                            channel.active_streams(),
+                            key=lambda stream: (-stream.weight, stream.id),
+                        )
+                    )
+                    wtotals.append(0.0)
+                elif channel.scheduling is StreamScheduling.WEIGHTED:
+                    heads.append(None)
+                    wtotals.append(
+                        sum(
+                            stream.weight
+                            for stream in channel.active_streams()
+                        )
+                    )
+                else:
+                    heads.append(None)
+                    wtotals.append(0.0)
+            self._memo_heads = heads
+            self._memo_wtotals = wtotals
+            min_rtt = min(
+                (channel.rtt for channel in busy if channel.rtt > 0),
+                default=0.0,
+            )
+            self._memo_refresh = min_rtt / 2.0 if min_rtt > 0 else 0.0
+            self._heads_gen = self._member_gen
+        total_byte_rate = self.downlink_bps / 8.0
+        caps: List[float] = []
+        for channel in busy:
+            rtt = channel.rtt
+            if rtt > 0:
+                cwnd = channel.cwnd
+                caps.append(
+                    (cwnd if cwnd <= MAX_CWND_BYTES else MAX_CWND_BYTES)
+                    / rtt
+                )
+            else:
+                caps.append(_INF)
+        if self._assign_valid and caps == self._alloc_caps:
+            alloc = self._alloc_rates
+            cwnd_limited = self._alloc_limited
+            assign = False
+        else:
+            nch = len(busy)
+            if nch == 1:
+                cap = caps[0]
+                alloc = [
+                    total_byte_rate if total_byte_rate <= cap else cap
+                ]
+            else:
+                small = waterfill_small(caps, total_byte_rate)
+                if small is not None:
+                    self.wf_fast_hits += 1
+                    alloc = small
+                else:
+                    self.rate_recomputes += 1
+                    if self.vectorized_flow:
+                        alloc = waterfill_vectorized(caps, total_byte_rate)
+                    else:
+                        alloc = waterfill(caps, total_byte_rate)
+            cwnd_limited = False
+            for i in range(len(busy)):
+                if caps[i] <= alloc[i] + _EPS_BYTES:
+                    cwnd_limited = True
+                    break
+            self._alloc_caps = caps
+            self._alloc_rates = alloc
+            self._alloc_limited = cwnd_limited
+            self._assign_valid = True
+            assign = True
+        horizon: Optional[float] = None
+        heads = self._memo_heads
+        wtotals = self._memo_wtotals
+        for i, channel in enumerate(busy):
+            rate = alloc[i]
+            active = channel.active_streams()
+            head = heads[i]
+            if head is not None:
+                # FIFO: the head takes the whole connection rate, so it
+                # alone bounds the horizon.
+                if assign:
+                    for stream in active:
+                        stream.rate = 0.0
+                    head.rate = rate
+                if rate > 0:
+                    target = head.bytes_total
+                    watches = head._watches
+                    if watches:
+                        offset = watches[head._watch_cursor][0]
+                        if offset < target:
+                            target = offset
+                    rem = target - head.bytes_done
+                    eta = rem / rate if rem > 0 else 0.0
+                    if horizon is None or eta < horizon:
+                        horizon = eta
+            elif channel.scheduling is StreamScheduling.WEIGHTED:
+                wtotal = wtotals[i]
+                for stream in active:
+                    if assign:
+                        srate = rate * stream.weight / wtotal
+                        stream.rate = srate
+                    else:
+                        srate = stream.rate
+                    if srate <= 0:
+                        continue
+                    target = stream.bytes_total
+                    watches = stream._watches
+                    if watches:
+                        offset = watches[stream._watch_cursor][0]
+                        if offset < target:
+                            target = offset
+                    rem = target - stream.bytes_done
+                    eta = rem / srate if rem > 0 else 0.0
+                    if horizon is None or eta < horizon:
+                        horizon = eta
+            else:
+                each = rate / len(active)
+                if each > 0:
+                    min_rem: Optional[float] = None
+                    if assign:
+                        for stream in active:
+                            stream.rate = each
+                            target = stream.bytes_total
+                            watches = stream._watches
+                            if watches:
+                                offset = watches[stream._watch_cursor][0]
+                                if offset < target:
+                                    target = offset
+                            rem = target - stream.bytes_done
+                            if min_rem is None or rem < min_rem:
+                                min_rem = rem
+                    else:
+                        for stream in active:
+                            target = stream.bytes_total
+                            watches = stream._watches
+                            if watches:
+                                offset = watches[stream._watch_cursor][0]
+                                if offset < target:
+                                    target = offset
+                            rem = target - stream.bytes_done
+                            if min_rem is None or rem < min_rem:
+                                min_rem = rem
+                    if min_rem is not None:
+                        eta = min_rem / each if min_rem > 0 else 0.0
+                        if horizon is None or eta < horizon:
+                            horizon = eta
+                elif assign:
+                    for stream in active:
+                        stream.rate = each
+        if cwnd_limited:
+            refresh = self._memo_refresh
+            if refresh > 0:
+                if horizon is None or horizon > refresh:
+                    horizon = refresh
+        return horizon
+
     def _reschedule(self, horizon: Optional[float]) -> None:
+        raw = self._raw_sim
+        if raw is not None:
+            # Handle-free tick bookkeeping on the array executor: the
+            # recorded slot is pending by the invariant documented at
+            # ``_tick_slot``, so a plain slot-cancel replaces the handle.
+            # Sequence numbers, heap entries and counters are identical
+            # to the handle path.
+            slot = self._tick_slot
+            if slot >= 0:
+                raw._cancel_slot(slot)
+                self._tick_slot = -1
+            if horizon is not None:
+                self._tick_slot = raw.schedule_raw(
+                    horizon if horizon > 0.0 else 0.0, self._tick
+                )
+            return
         if self._tick_event is not None:
             self._tick_event.cancel()
             self._tick_event = None
@@ -538,19 +878,139 @@ class AccessLink:
 
     def _step(self) -> None:
         """Integrate progress to ``sim.now`` and fire due watches/completions."""
+        if self.batched:
+            self._step_batched()
+            return
+        self._scan_forced = False
         self._advance()
+        sim = self.sim
         for channel in self.channels:
             retired = False
             # fire_ready only defers callbacks (call_soon), so iterating
             # the live list is safe; rebuild it only when a stream ended.
             for stream in channel.streams:
-                stream.fire_ready(self.sim)
+                stream.fire_ready(sim)
                 if stream.done:
                     retired = True
             if retired:
                 channel.streams = [
                     stream for stream in channel.streams if not stream.done
                 ]
+
+    def _step_batched(self) -> None:
+        """Fused single-walk :meth:`_step` for the batched executor.
+
+        Integration (:meth:`_advance`'s body, with window growth inlined)
+        and the watch/completion scan run in one pass over the channels
+        instead of two.  Interleaving them per channel is exact: a
+        channel's integration touches only its own streams' ``rate`` /
+        ``bytes_done`` and its own window and loss state, and a scan only
+        marks that channel's streams done and defers callbacks through
+        ``call_soon`` — nothing a later channel's integration reads.  The
+        link-level delivered/busy accumulators are carried in locals and
+        written back once, in the same channel order as the two-pass
+        reference, so every float lands identically.
+
+        The scan inlines :meth:`StreamHandle.fire_ready`'s entry guards
+        (a due watch, else a due completion) so the ~90% of streams with
+        nothing due skip the call entirely.  A zero-dt sweep — unless a
+        batch run just crossed a threshold and forced the scan — is a
+        proven no-op and returns immediately: no bytes moved since the
+        previous scan, and ``watch_offset`` fires already-due offsets
+        through ``call_soon`` directly.  Matching the reference
+        integrator, the sub-epsilon time sliver is dropped, not
+        accumulated; only the pruning of done streams is deferred, which
+        the next real scan performs identically.
+        """
+        sim = self.sim
+        now = sim.now
+        dt = now - self._last_update
+        self._last_update = now
+        eps = _EPS_BYTES
+        if dt <= _EPS_TIME:
+            if not self._scan_forced:
+                return
+            self._scan_forced = False
+            for channel in self.channels:
+                streams = channel.streams
+                if not streams:
+                    continue
+                retired = False
+                for stream in streams:
+                    watches = stream._watches
+                    if (
+                        watches
+                        and watches[stream._watch_cursor][0]
+                        <= stream.bytes_done + eps
+                    ):
+                        stream.fire_ready(sim)
+                    elif (
+                        not stream.done
+                        and stream.bytes_done + eps >= stream.bytes_total
+                    ):
+                        stream.fire_ready(sim)
+                    if stream.done:
+                        retired = True
+                if retired:
+                    channel.streams = [
+                        stream for stream in streams if not stream.done
+                    ]
+            return
+        self._scan_forced = False
+        delivered_total = self.bytes_delivered
+        lossy = self.loss_rate > 0
+        busy = False
+        for channel in self.channels:
+            streams = channel.streams
+            if not streams:
+                continue
+            active = channel.active_streams()
+            if active:
+                busy = True
+                channel_delivered = 0.0
+                for stream in active:
+                    delta = stream.rate * dt
+                    grown = stream.bytes_done + delta
+                    total = stream.bytes_total
+                    stream.bytes_done = (
+                        total if total <= grown else grown
+                    )
+                    channel_delivered += delta
+                    delivered_total += delta
+                if channel.rtt > 0:
+                    grown_w = channel.cwnd + channel_delivered
+                    channel.cwnd = (
+                        MAX_CWND_BYTES
+                        if MAX_CWND_BYTES <= grown_w
+                        else grown_w
+                    )
+                if lossy:
+                    channel._register_delivery(channel_delivered)
+                if channel_delivered > 0:
+                    channel._last_busy_at = now
+            retired = False
+            for stream in streams:
+                watches = stream._watches
+                if (
+                    watches
+                    and watches[stream._watch_cursor][0]
+                    <= stream.bytes_done + eps
+                ):
+                    stream.fire_ready(sim)
+                elif (
+                    not stream.done
+                    and stream.bytes_done + eps >= stream.bytes_total
+                ):
+                    stream.fire_ready(sim)
+                if stream.done:
+                    retired = True
+            if retired:
+                channel.streams = [
+                    stream for stream in streams if not stream.done
+                ]
+        if busy:
+            self.busy_time += dt
+        self.bytes_delivered = delivered_total
 
     def poke(self) -> None:
         """Advance progress, fire due watches/completions, recompute rates."""
@@ -579,6 +1039,7 @@ class AccessLink:
         if self._in_poke:
             return
         self._tick_event = None
+        self._tick_slot = -1
         self._in_poke = True
         try:
             while True:
@@ -598,7 +1059,13 @@ class AccessLink:
                     return
                 self.ff_steps += 1
                 if not audit.ENABLED:
-                    self._coalesce()
+                    # Batch the rest of the silent run in locals.  Under
+                    # audit both batchers stand down so the generic loop
+                    # above validates every step individually.
+                    if self.batched:
+                        self._run_batch()
+                    else:
+                        self._coalesce()
         finally:
             self._in_poke = False
 
@@ -702,6 +1169,376 @@ class AccessLink:
         sim.inline_advances += steps
         self.pokes += steps
         self.ff_steps += steps
+
+    def _run_batch(self) -> None:
+        """Execute a homogeneous run of silent refresh steps in one call.
+
+        The batched-executor generalisation of :meth:`_coalesce`: any
+        number of busy connections, any scheduling mode, any stream
+        count.  During a silent window nothing outside the link runs, so
+        the busy set, each connection's scheduling head/weights, and
+        every stream's next threshold are all *fixed* — they are hoisted
+        into parallel local arrays once, and each step then performs the
+        reference loop's float operations (delivery in channel-then-
+        stream order, window growth, loss draws, allocation, horizon) on
+        those locals in the identical order.  The run ends at the first
+        threshold crossing or bounds refusal (``run(until=)`` cap, next
+        heap event, non-positive horizon) — exactly where the generic
+        loop's ``advance_inline`` would refuse — and writes all state
+        back, flagging :meth:`_step` to run the boundary scan that fires
+        the crossing.  Step counters mirror one-per-tick accounting, so
+        the executed trace stays bit-identical.
+        """
+        busy = self._busy_channels()
+        nch = len(busy)
+        if nch == 0:
+            return
+        if nch == 1:
+            channel = busy[0]
+            active = channel.active_streams()
+            # FAIR over one stream and FIFO's head-takes-all both give
+            # the stream the whole connection rate (x / 1.0 is exact),
+            # so the scalar loop covers either; WEIGHTED would compute
+            # rate * w / w, which is not an identity in floats.
+            if (
+                len(active) == 1
+                and channel.scheduling is not StreamScheduling.WEIGHTED
+            ):
+                self._run_batch_single(channel, active[0])
+                return
+        # -- hoist fixed per-channel / per-stream state into locals ------
+        actives: List[List[StreamHandle]] = []
+        rtts: List[float] = []
+        cwnds: List[float] = []
+        btnls: List[float] = []
+        loss_counts: List[int] = []
+        last_busys: List[Optional[float]] = []
+        heads: List[int] = []
+        wtotals: List[float] = []
+        modes: List[int] = []  # 0 FAIR, 1 FIFO, 2 WEIGHTED
+        dones: List[List[float]] = []
+        totals: List[List[float]] = []
+        targets: List[List[float]] = []
+        rates: List[List[float]] = []
+        for channel in busy:
+            active = channel.active_streams()
+            if not active:
+                return
+            actives.append(active)
+            rtts.append(channel.rtt)
+            cwnds.append(channel.cwnd)
+            btnls.append(channel._bytes_to_next_loss)
+            loss_counts.append(channel._loss_count)
+            last_busys.append(None)
+            if channel.scheduling is StreamScheduling.FIFO:
+                modes.append(1)
+                head = min(
+                    active, key=lambda stream: (-stream.weight, stream.id)
+                )
+                heads.append(active.index(head))
+                wtotals.append(0.0)
+            elif channel.scheduling is StreamScheduling.WEIGHTED:
+                modes.append(2)
+                heads.append(0)
+                wtotals.append(sum(stream.weight for stream in active))
+            else:
+                modes.append(0)
+                heads.append(0)
+                wtotals.append(0.0)
+            dones.append([stream.bytes_done for stream in active])
+            totals.append([stream.bytes_total for stream in active])
+            rates.append([stream.rate for stream in active])
+            ch_targets = []
+            for stream in active:
+                target = stream.bytes_total
+                cursor = stream._watch_cursor
+                if cursor < len(stream._watches):
+                    watch = stream._watches[cursor][0]
+                    if watch < target:
+                        target = watch
+                ch_targets.append(target)
+            targets.append(ch_targets)
+        sim = self.sim
+        next_heap = sim.peek_time()
+        until = sim._until
+        total_rate = self.downlink_bps / 8.0
+        lossy = self.loss_rate > 0
+        min_rtt = min((rtt for rtt in rtts if rtt > 0), default=0.0)
+        refresh = min_rtt / 2.0 if min_rtt > 0 else 0.0
+        vectorized = self.vectorized_flow
+        now = sim._now
+        last_update = self._last_update
+        delivered = self.bytes_delivered
+        busy_time = self.busy_time
+        steps = 0
+        crossing = False
+        wf_fast = 0
+        range_nch = range(nch)
+        while True:
+            dt = now - last_update
+            if dt > _EPS_TIME:
+                for i in range_nch:
+                    ch_rates = rates[i]
+                    ch_dones = dones[i]
+                    ch_totals = totals[i]
+                    ch_delivered = 0.0
+                    for j in range(len(ch_rates)):
+                        delta = ch_rates[j] * dt
+                        grown = ch_dones[j] + delta
+                        total = ch_totals[j]
+                        ch_dones[j] = total if total <= grown else grown
+                        ch_delivered += delta
+                        delivered += delta
+                    if rtts[i] > 0:
+                        cwnd = cwnds[i] + ch_delivered
+                        cwnds[i] = (
+                            MAX_CWND_BYTES
+                            if MAX_CWND_BYTES <= cwnd
+                            else cwnd
+                        )
+                    if lossy:
+                        btnl = btnls[i] - ch_delivered
+                        while btnl <= 0:
+                            loss_counts[i] += 1
+                            halved = cwnds[i] / 2.0
+                            cwnds[i] = (
+                                INITIAL_CWND_BYTES
+                                if INITIAL_CWND_BYTES >= halved
+                                else halved
+                            )
+                            btnl += busy[i]._sample_loss_gap(
+                                seed_extra=loss_counts[i]
+                            )
+                        btnls[i] = btnl
+                    if ch_delivered > 0:
+                        last_busys[i] = now
+                busy_time += dt
+            last_update = now
+            # -- threshold crossing ends the run (scan fires it) ---------
+            for i in range_nch:
+                ch_dones = dones[i]
+                ch_targets = targets[i]
+                for j in range(len(ch_dones)):
+                    if ch_dones[j] + _EPS_BYTES >= ch_targets[j]:
+                        crossing = True
+                        break
+                if crossing:
+                    break
+            if crossing:
+                break
+            # -- allocate: water-filling over current window caps --------
+            caps = [
+                min(cwnds[i], MAX_CWND_BYTES) / rtts[i]
+                if rtts[i] > 0
+                else float("inf")
+                for i in range_nch
+            ]
+            if nch == 1:
+                cap = caps[0]
+                alloc = [total_rate if total_rate < cap else cap]
+            elif nch <= 3:
+                alloc = waterfill_small(caps, total_rate) or []
+                wf_fast += 1
+            elif vectorized:
+                alloc = waterfill_vectorized(caps, total_rate)
+            else:
+                alloc = waterfill(caps, total_rate)
+            cwnd_limited = False
+            for i in range_nch:
+                rate = alloc[i]
+                if caps[i] <= rate + _EPS_BYTES:
+                    cwnd_limited = True
+                ch_rates = rates[i]
+                mode = modes[i]
+                if mode == 0:
+                    each = rate / len(ch_rates)
+                    for j in range(len(ch_rates)):
+                        ch_rates[j] = each
+                elif mode == 1:
+                    for j in range(len(ch_rates)):
+                        ch_rates[j] = 0.0
+                    ch_rates[heads[i]] = rate
+                else:
+                    wtotal = wtotals[i]
+                    weights = actives[i]
+                    for j in range(len(ch_rates)):
+                        ch_rates[j] = rate * weights[j].weight / wtotal
+            # -- horizon: next threshold or slow-start refresh -----------
+            horizon: Optional[float] = None
+            for i in range_nch:
+                ch_rates = rates[i]
+                ch_dones = dones[i]
+                ch_targets = targets[i]
+                for j in range(len(ch_rates)):
+                    rate = ch_rates[j]
+                    if rate <= 0:
+                        continue
+                    remaining = ch_targets[j] - ch_dones[j]
+                    eta = remaining / rate if remaining > 0 else 0.0
+                    if horizon is None or eta < horizon:
+                        horizon = eta
+            if cwnd_limited and refresh > 0:
+                horizon = (
+                    refresh if horizon is None else min(horizon, refresh)
+                )
+            if horizon is None:
+                break
+            # -- the advance_inline bounds, on locals --------------------
+            target_t = now + (horizon if horizon > 0.0 else 0.0)
+            if target_t <= now:
+                break
+            if until is not None and target_t > until:
+                break
+            if next_heap is not None and next_heap <= target_t:
+                break
+            now = target_t
+            steps += 1
+        # -- write the hoisted state back --------------------------------
+        for i in range_nch:
+            channel = busy[i]
+            ch_dones = dones[i]
+            ch_rates = rates[i]
+            active = actives[i]
+            for j in range(len(active)):
+                stream = active[j]
+                stream.bytes_done = ch_dones[j]
+                stream.rate = ch_rates[j]
+            channel.cwnd = cwnds[i]
+            if lossy:
+                channel._bytes_to_next_loss = btnls[i]
+                channel._loss_count = loss_counts[i]
+            if last_busys[i] is not None:
+                channel._last_busy_at = last_busys[i]
+        self.bytes_delivered = delivered
+        self.busy_time = busy_time
+        self._last_update = last_update
+        sim._now = now
+        sim.inline_advances += steps
+        self.pokes += steps
+        self.ff_steps += steps
+        self.wf_fast_hits += wf_fast
+        if steps:
+            self.batch_runs += 1
+            self.batch_steps += steps
+        if crossing:
+            self._scan_forced = True
+
+    def _run_batch_single(self, channel: Channel, stream: StreamHandle) -> None:
+        """Scalar batch loop for the one-connection / one-stream run.
+
+        The dominant drain shape: all hoisted state fits in scalar
+        locals, so each step costs a handful of float operations instead
+        of :meth:`_run_batch`'s list indexing.  Float operations and
+        their order are those of :meth:`_coalesce`, generalised to
+        RTT-less connections (infinite cap: the rate pins to the link
+        share and no refresh clamp applies, exactly as the reference
+        path computes); exit conditions and counter accounting are those
+        of :meth:`_run_batch`, including the forced boundary scan after
+        a threshold crossing.
+        """
+        rate_s = stream.rate
+        if rate_s <= 0:
+            return
+        sim = self.sim
+        next_heap = sim.peek_time()
+        until = sim._until
+        share = self.downlink_bps / 8.0
+        rtt = channel.rtt
+        grows = rtt > 0
+        refresh = rtt / 2.0 if grows else 0.0
+        lossy = self.loss_rate > 0
+        total = stream.bytes_total
+        watches = stream._watches
+        if watches:
+            offset = watches[stream._watch_cursor][0]
+            target_bytes = offset if offset < total else total
+        else:
+            target_bytes = total
+        now = sim._now
+        last_update = self._last_update
+        done = stream.bytes_done
+        cwnd = channel.cwnd
+        btnl = channel._bytes_to_next_loss
+        loss_count = channel._loss_count
+        delivered = self.bytes_delivered
+        busy_time = self.busy_time
+        last_busy = None
+        steps = 0
+        crossing = False
+        while True:
+            dt = now - last_update
+            if dt > _EPS_TIME:
+                # One stream: channel_delivered == delta, exactly.
+                delta = rate_s * dt
+                grown = done + delta
+                done = total if total <= grown else grown
+                delivered += delta
+                if grows:
+                    grown_w = cwnd + delta
+                    cwnd = (
+                        MAX_CWND_BYTES
+                        if MAX_CWND_BYTES <= grown_w
+                        else grown_w
+                    )
+                if lossy:
+                    btnl -= delta
+                    while btnl <= 0:
+                        loss_count += 1
+                        halved = cwnd / 2.0
+                        cwnd = (
+                            INITIAL_CWND_BYTES
+                            if INITIAL_CWND_BYTES >= halved
+                            else halved
+                        )
+                        btnl += channel._sample_loss_gap(
+                            seed_extra=loss_count
+                        )
+                busy_time += dt
+                last_busy = now
+            last_update = now
+            if done + _EPS_BYTES >= target_bytes:
+                crossing = True
+                break
+            if grows:
+                cap = min(cwnd, MAX_CWND_BYTES) / rtt
+                rate = share if share <= cap else cap
+                limited = cap <= rate + _EPS_BYTES
+            else:
+                rate = share
+                limited = False
+            rate_s = rate
+            remaining = target_bytes - done
+            eta = remaining / rate_s if remaining > 0 else 0.0
+            horizon = (eta if eta <= refresh else refresh) if limited else eta
+            target_t = now + (horizon if horizon > 0.0 else 0.0)
+            if target_t <= now:
+                break
+            if until is not None and target_t > until:
+                break
+            if next_heap is not None and next_heap <= target_t:
+                break
+            now = target_t
+            steps += 1
+        stream.bytes_done = done
+        stream.rate = rate_s
+        channel.cwnd = cwnd
+        if lossy:
+            channel._bytes_to_next_loss = btnl
+            channel._loss_count = loss_count
+        if last_busy is not None:
+            channel._last_busy_at = last_busy
+        self.bytes_delivered = delivered
+        self.busy_time = busy_time
+        self._last_update = last_update
+        sim._now = now
+        sim.inline_advances += steps
+        self.pokes += steps
+        self.ff_steps += steps
+        if steps:
+            self.batch_runs += 1
+            self.batch_steps += steps
+        if crossing:
+            self._scan_forced = True
 
     def active_stream_count(self) -> int:
         return sum(

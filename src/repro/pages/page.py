@@ -30,6 +30,9 @@ class PageBlueprint:
     root: str
     specs: Dict[str, ResourceSpec] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        self._children_cache: Optional[Dict[str, List[ResourceSpec]]] = None
+
     def add(self, spec: ResourceSpec) -> ResourceSpec:
         if spec.name in self.specs:
             raise ValueError(f"duplicate resource name {spec.name!r}")
@@ -38,6 +41,7 @@ class PageBlueprint:
                 f"{spec.name!r} declares unknown parent {spec.parent!r}"
             )
         self.specs[spec.name] = spec
+        self._children_cache = None
         return spec
 
     @property
@@ -45,9 +49,23 @@ class PageBlueprint:
         return self.specs[self.root]
 
     def children_of(self, name: str) -> List[ResourceSpec]:
-        kids = [spec for spec in self.specs.values() if spec.parent == name]
-        kids.sort(key=lambda spec: (spec.position, spec.name))
-        return kids
+        """Direct children of ``name``, sorted by (position, name).
+
+        Memoised over the whole blueprint (dependency resolution asks
+        for children hundreds of times per simulated load) and rebuilt
+        on :meth:`add`.  Callers treat the result as read-only.
+        """
+        cache = self._children_cache
+        if cache is None:
+            cache = {spec_name: [] for spec_name in self.specs}
+            for spec in self.specs.values():
+                if spec.parent is not None:
+                    cache[spec.parent].append(spec)
+            for kids in cache.values():
+                kids.sort(key=lambda spec: (spec.position, spec.name))
+            self._children_cache = cache
+        kids = cache.get(name)
+        return kids if kids is not None else []
 
     def validate(self) -> None:
         """Check structural invariants; raises ``ValueError`` on failure."""

@@ -365,7 +365,7 @@ class HintService:
                 )
                 pump()
 
-            sim.schedule(delay, fire)
+            sim.schedule_drop(delay, fire)
 
         duration = workload.duration_hours()
         ticks = int(math.ceil(duration / self.config.batch_period_hours)) + 1

@@ -43,6 +43,16 @@ def test_smoke_check_flags_missing_scenario(smoke_report):
     assert any("missing from report" in problem for problem in problems)
 
 
+def test_smoke_check_flags_lost_speedup(smoke_report):
+    """Dropping below the pinned floor fails the smoke job."""
+    import copy
+
+    drifted = copy.deepcopy(smoke_report)
+    drifted["scenarios"][0]["wall_batched_speedup"] = 0.5
+    problems = smoke_check(drifted)
+    assert any("lost its wall-clock edge" in problem for problem in problems)
+
+
 def test_acceptance_ratios(smoke_report):
     """The ISSUE's perf criteria, on counters only (wall-clock is not
     asserted in CI — single-repeat walls are too noisy)."""
@@ -54,12 +64,34 @@ def test_acceptance_ratios(smoke_report):
         assert row["plt"] > 0
 
 
-def test_counters_cover_both_modes(smoke_report):
+def test_counters_cover_all_modes(smoke_report):
     observed = smoke_counters(smoke_report)
     for scenario, counters in observed.items():
         assert counters["events_scheduled_fast_forward"] <= (
             counters["events_scheduled_event_per_tick"]
         ), scenario
+        # Seq-parity: the batched executor schedules exactly the events
+        # the fast-forward engine does — savings are per-event cost,
+        # batch-loop absorption, never trace divergence.
+        assert counters["events_scheduled_batched"] == (
+            counters["events_scheduled_fast_forward"]
+        ), scenario
+
+
+def test_batched_counters_present(smoke_report):
+    rows = {row["scenario"]: row for row in smoke_report["scenarios"]}
+    for scenario, row in rows.items():
+        batched = row["counters_batched"]
+        assert batched["link_batch_steps"] >= batched["link_batch_runs"]
+        assert row["wall_batched_sec"] > 0
+        assert row["wall_batched_speedup"] > 0
+    # The batch loop engages hardest where fast-forward's single-stream
+    # coalescer already ran, and the closed-form allocator where several
+    # connections share the link.
+    assert rows["single-stream-drain"]["counters_batched"][
+        "link_batch_steps"
+    ] > 1000
+    assert rows["corpus-news"]["counters_batched"]["link_wf_fast_hits"] > 0
 
 
 def test_custom_scenario_runs_and_verifies():

@@ -156,10 +156,25 @@ class TestSweepPerf:
         report = perf.as_dict()
         assert report["jobs_per_sec"] == 5.0
         assert report["cache_hit_rate"] == 0.3
+        assert report["mode"] == "inline"
         assert set(report) == {
-            "jobs", "workers", "elapsed_sec", "jobs_per_sec",
+            "jobs", "workers", "mode", "elapsed_sec", "jobs_per_sec",
             "cache_hits", "cache_misses", "cache_hit_rate",
         }
+
+    def test_grid_mode_dispatch(self):
+        from repro.experiments.parallel import grid_mode
+
+        assert grid_mode(workers=1, jobs=30) == "inline"
+        assert grid_mode(workers=4, jobs=1) == "inline"
+        assert grid_mode(workers=4, jobs=30) == "pool"
+
+    def test_sweep_records_inline_mode_for_single_worker(self, pages):
+        _, perf = run_sweep(
+            pages, ["http2"], workers=1, cache=SnapshotCache()
+        )
+        assert perf.workers == 1
+        assert perf.mode == "inline"
 
 
 class TestExperimentRunShards:

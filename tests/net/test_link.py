@@ -7,7 +7,7 @@ from repro.net.link import (
     INITIAL_CWND_BYTES,
     StreamScheduling,
 )
-from repro.net.simulator import Simulator
+from repro.net.simulator import ArraySimulator, Simulator
 
 
 def make_link(bandwidth_bps=8.0e6):
@@ -343,3 +343,122 @@ class TestFastForwardMode:
         on_events, on_pokes = events_scheduled(True)
         assert on_events < off_events / 2
         assert on_pokes == off_pokes, "inline steps must mirror heap ticks"
+
+
+class TestBatchedRunDetection:
+    """Boundary behaviour of the batched executor's run detection.
+
+    A *run* is a maximal stretch of silent refresh steps that
+    ``_run_batch`` absorbs in one call.  These tests pin where runs must
+    end (a foreign heap event, the ``run(until=)`` cap) and that a batch
+    invocation absorbing zero steps is not counted as a run — each
+    against the reference engine bit for bit.
+    """
+
+    def _build(self, batched, channels=2, size=2_000_000, rtt=0.2):
+        # 100 MB/s link: far above the 4 MB/0.2 s window cap, so the
+        # whole drain stays cwnd-limited and every silent stretch is a
+        # sequence of rtt/2 = 0.1 s refresh steps the batch loop can eat.
+        sim = ArraySimulator() if batched else Simulator()
+        link = AccessLink(
+            sim, 8.0e8, fast_forward=batched, batched=batched
+        )
+        done = []
+        for index in range(channels):
+            channel = link.open_channel(rtt=rtt)
+            channel.start_stream(
+                size, lambda index=index: done.append((index, sim.now))
+            )
+        return sim, link, done
+
+    def test_run_split_by_cross_kind_event(self):
+        """A foreign heap event mid-drain ends the run; a second run
+        resumes after it.  Observables stay bit-identical."""
+        ref_sim, _, ref_done = self._build(batched=False)
+        ref_sim.schedule(1.0, lambda: None)
+        ref_sim.run()
+
+        sim, link, done = self._build(batched=True)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+
+        assert done == ref_done
+        assert link.batch_runs >= 2, (
+            "the foreign event must split the silent drain into at "
+            "least a run before it and a run after it"
+        )
+
+    def test_zero_length_runs_not_counted(self):
+        """Foreign events denser than the batch loop's first horizon:
+        every batch invocation refuses at step zero and no run is
+        recorded, while the generic fast-forward step still works."""
+        def run(batched):
+            sim, link, done = self._build(batched=batched)
+            # One no-op every 0.15 s (above the 0.1 s slow-start refresh
+            # span, below two of them) for the whole drain: a generic
+            # inline advance sometimes fits before the next no-op, but a
+            # second consecutive step never does — every batch
+            # invocation refuses at step zero.
+            for k in range(1, 40):
+                sim.schedule(0.15 * k, lambda: None)
+            sim.run()
+            return sim, link, done
+
+        ref_sim, _, ref_done = run(batched=False)
+        sim, link, done = run(batched=True)
+        assert done == ref_done
+        assert link.ff_steps > 0, "the generic inline step must engage"
+        assert link.batch_runs == 0, (
+            "zero-step batch invocations must not count as runs"
+        )
+        assert link.batch_steps == 0
+
+    def test_run_truncated_by_run_until(self):
+        """``run(until=)`` caps a run mid-silent-window: the clock stops
+        exactly at the cap with partially-delivered state identical to
+        the reference engine, and resuming completes identically."""
+        ref_sim, ref_link, ref_done = self._build(batched=False)
+        sim, link, done = self._build(batched=True)
+
+        assert ref_sim.run(until=1.0) == 1.0
+        assert sim.run(until=1.0) == 1.0
+        assert sim.now == 1.0
+        ref_bytes = [
+            s.bytes_done for c in ref_link.channels for s in c.streams
+        ]
+        bat_bytes = [
+            s.bytes_done for c in link.channels for s in c.streams
+        ]
+        assert bat_bytes == ref_bytes, "mid-run state must match bitwise"
+        assert done == ref_done == []
+
+        ref_sim.run()
+        sim.run()
+        assert done == ref_done
+        assert link.bytes_delivered == ref_link.bytes_delivered
+
+    def test_multi_stream_batch_engages_and_matches(self):
+        """Two connections drain through the general (array-hoisted)
+        batch loop — runs recorded, observables bit-identical."""
+        ref_sim, ref_link, ref_done = self._build(batched=False)
+        ref_sim.run()
+        sim, link, done = self._build(batched=True)
+        sim.run()
+        assert done == ref_done
+        assert link.bytes_delivered == ref_link.bytes_delivered
+        assert link.batch_runs >= 1
+        assert link.batch_steps > link.batch_runs
+        assert link.pokes == ref_link.pokes, (
+            "batched steps must mirror one-per-tick accounting"
+        )
+
+    def test_single_stream_scalar_batch_matches(self):
+        """The one-connection drain takes the scalar fast path and still
+        mirrors the reference trace exactly."""
+        ref_sim, ref_link, ref_done = self._build(batched=False, channels=1)
+        ref_sim.run()
+        sim, link, done = self._build(batched=True, channels=1)
+        sim.run()
+        assert done == ref_done
+        assert link.batch_steps > 0
+        assert link.pokes == ref_link.pokes

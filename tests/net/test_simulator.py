@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.net.simulator import Simulator
+from repro.net.simulator import ArraySimulator, Simulator
 
 
 class TestScheduling:
@@ -246,3 +246,142 @@ class TestInlineAdvance:
         holder.append(sim.schedule(1.0, fire))
         sim.run()
         assert sim.events_cancelled == 0
+
+
+class TestArraySimulator:
+    """The array-backed executor's own API surface and slot discipline.
+
+    Ordering/cancellation semantics shared with the reference engine are
+    covered by running the whole reference suite against a random
+    program in :meth:`test_trace_matches_reference_engine`; the tests
+    around it pin what is *new*: raw-slot scheduling, handle-free
+    fire-and-forget paths, and slot recycling with generation guards.
+    """
+
+    def test_trace_matches_reference_engine(self):
+        """A seeded random schedule/cancel program fires in the same
+        order at the same times on both engines."""
+        import random
+
+        def run(sim_cls):
+            sim = sim_cls()
+            fired = []
+            rng = random.Random(1234)
+            handles = []
+
+            def fire(tag):
+                fired.append((tag, sim.now))
+                if rng.random() < 0.4:
+                    tag2 = f"{tag}.{len(fired)}"
+                    handles.append(
+                        sim.schedule(rng.choice([0.0, 0.5, 1.0]), lambda: fire(tag2))
+                    )
+                if handles and rng.random() < 0.3:
+                    handles.pop(rng.randrange(len(handles))).cancel()
+
+            for i in range(50):
+                handles.append(
+                    sim.schedule(rng.choice([0.0, 1.0, 2.0, 3.0]),
+                                 lambda i=i: fire(str(i)))
+                )
+            final = sim.run()
+            return fired, final, sim.events_scheduled, sim.events_cancelled
+
+        assert run(Simulator) == run(ArraySimulator)
+
+    def test_schedule_raw_returns_slot_without_handle(self):
+        sim = ArraySimulator()
+        seen = []
+        slot = sim.schedule_raw(1.0, lambda: seen.append(sim.now))
+        assert isinstance(slot, int)
+        assert sim.events_scheduled == 1
+        sim.run()
+        assert seen == [1.0]
+
+    def test_raw_slot_cancel(self):
+        sim = ArraySimulator()
+        seen = []
+        slot = sim.schedule_raw(1.0, lambda: seen.append("raw"))
+        sim.schedule(2.0, lambda: seen.append("kept"))
+        sim._cancel_slot(slot)
+        sim.run()
+        assert seen == ["kept"]
+        assert sim.events_cancelled == 1
+
+    def test_schedule_drop_fires_and_returns_nothing(self):
+        sim = ArraySimulator()
+        seen = []
+        assert sim.schedule_drop(1.0, lambda: seen.append(sim.now)) is None
+        sim.run()
+        assert seen == [1.0]
+
+    def test_schedule_drop_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            ArraySimulator().schedule_drop(-0.1, lambda: None)
+        # The reference engine exposes the same method, same contract.
+        with pytest.raises(ValueError):
+            Simulator().schedule_drop(-0.1, lambda: None)
+
+    def test_call_soon_returns_none_and_runs_after_same_time(self):
+        sim = ArraySimulator()
+        order = []
+
+        def first():
+            assert sim.call_soon(lambda: order.append("soon")) is None
+            order.append("first")
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run()
+        assert order == ["first", "second", "soon"]
+
+    def test_slot_recycled_after_execution(self):
+        """Popped slots return to the free list and are reused instead
+        of growing the parallel arrays."""
+        sim = ArraySimulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        storage = len(sim._cb)
+        assert sim._free, "executed event's slot must be freed"
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+            sim.run()
+        assert len(sim._cb) == storage, "slots must be recycled, not grown"
+
+    def test_stale_handle_cancel_is_noop(self):
+        """A handle whose slot was recycled must not cancel the new
+        occupant: the generation (seq) guard catches it."""
+        sim = ArraySimulator()
+        seen = []
+        stale = sim.schedule(1.0, lambda: seen.append("old"))
+        sim.run()
+        replacement = sim.schedule(1.0, lambda: seen.append("new"))
+        assert replacement.slot == stale.slot, (
+            "test setup: the new event must recycle the old slot"
+        )
+        stale.cancel()  # stale seq: must not touch the recycled slot
+        sim.run()
+        assert seen == ["old", "new"]
+        assert sim.events_cancelled == 0
+
+    def test_cancel_after_execution_does_not_skew_counters(self):
+        sim = ArraySimulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()
+        assert sim.events_cancelled == 0
+        assert sim.pending() == 0
+
+    def test_mass_cancellation_compacts_in_place(self):
+        sim = ArraySimulator()
+        keep = []
+        handles = [
+            sim.schedule(1.0 + i * 0.01, lambda: keep.append(sim.now))
+            for i in range(100)
+        ]
+        for handle in handles[10:]:
+            handle.cancel()
+        assert sim.compactions >= 1
+        assert sim.pending() == 10
+        sim.run()
+        assert len(keep) == 10
