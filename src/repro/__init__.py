@@ -54,7 +54,9 @@ from repro.replay import build_servers, record_snapshot
 from repro.replay.cache import SnapshotCache, materialize_cached
 from repro.service import (
     DependencyStore,
+    FleetStore,
     HintService,
+    PlacementMap,
     ServiceConfig,
     ServiceReport,
     evaluate_samples,
@@ -86,6 +88,8 @@ __all__ = [
     "SnapshotCache",
     "materialize_cached",
     "DependencyStore",
+    "FleetStore",
+    "PlacementMap",
     "HintService",
     "ServiceConfig",
     "ServiceReport",

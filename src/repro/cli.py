@@ -368,6 +368,50 @@ def cmd_resilience(args) -> int:
     return 0
 
 
+def _print_service_scenarios(scenarios: dict) -> None:
+    """Human summary of the fleet scenarios (kill/flash/reshard)."""
+    kill = scenarios["kill_shard"]
+    print(
+        f"kill shard {kill['victim_shard']} "
+        f"[{kill['down_at_hours']:.2f}h, {kill['up_at_hours']:.2f}h):"
+    )
+    for row in kill["rows"]:
+        line = (
+            f"  replication={row['replication']}: in-outage served "
+            f"{row['window']['served_rate']:.2%}, "
+            f"{row['totals']['failovers']} failover(s), "
+            f"p999 {row['latency']['p999_ms']:.2f} ms"
+        )
+        bridge = row.get("bridge_window")
+        if bridge:
+            line += (
+                f"; degraded precision {bridge['precision_mean']:.3f} / "
+                f"recall {bridge['recall_mean']:.3f}"
+            )
+        print(line)
+    flash = scenarios["flash_crowd"]
+    print(
+        f"flash crowd ×{flash['flash_multiplier']:.0f} at "
+        f"{flash['flash_at_hours']:.2f}h:"
+    )
+    for row in flash["rows"]:
+        print(
+            f"  frontend cache {row['frontend_cache_entries']:2d}: "
+            f"in-flash served {row['window']['served_rate']:.2%}, "
+            f"{row['totals']['frontend_hits']} frontend hit(s), "
+            f"p999 {row['latency']['p999_ms']:.2f} ms"
+        )
+    reshard = scenarios["reshard"]
+    print(
+        f"live reshard {reshard['shards_before']}→"
+        f"{reshard['shards_after']} shards: payloads match "
+        f"{reshard['payloads_match']} "
+        f"(audited {reshard['audited']}), "
+        f"{reshard['migration']['keys_moved']} key(s) moved over "
+        f"{reshard['migration']['steps']} step(s)"
+    )
+
+
 def cmd_service(args) -> int:
     """Simulated hint-serving backend: workload, staleness sweep, bench."""
     import json
@@ -376,6 +420,7 @@ def cmd_service(args) -> int:
         service_benchmark,
         smoke_check,
         smoke_run,
+        smoke_scenarios,
     )
 
     _maybe_enable_audit(args)
@@ -397,8 +442,16 @@ def cmd_service(args) -> int:
             f"(stale {totals['stale_hit_rate']:.2%}), "
             f"{totals['evictions']} eviction(s)"
         )
-        write_report({"benchmark": "service-smoke", "report": report})
-        problems = smoke_check(report)
+        scenarios = smoke_scenarios()
+        _print_service_scenarios(scenarios)
+        write_report(
+            {
+                "benchmark": "service-smoke",
+                "report": report,
+                "scenarios": scenarios,
+            }
+        )
+        problems = smoke_check(report, scenarios)
         for problem in problems:
             print(f"smoke mismatch — {problem}", file=sys.stderr)
         return 1 if problems else 0
@@ -471,6 +524,8 @@ def cmd_service(args) -> int:
         "stale-hit rate monotone in budget: "
         f"{staleness['monotone_stale_hit_rate']}"
     )
+    if "scenarios" in payload:
+        _print_service_scenarios(payload["scenarios"])
     write_report(payload)
     return 0
 

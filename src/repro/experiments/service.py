@@ -21,11 +21,13 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro import audit
 from repro.pages.corpus import news_sports_corpus
 from repro.pages.page import PageBlueprint
 from repro.replay.cache import SnapshotCache
 from repro.service.backend import HintService, ServiceConfig
 from repro.service.bridge import evaluate_samples
+from repro.service.placement import PlacementMap, shard_outage_rule
 
 #: Crawl budgets (page loads per simulated hour) swept by default.
 DEFAULT_BUDGETS: Sequence[float] = (6.0, 15.0, 60.0)
@@ -111,6 +113,303 @@ def staleness_experiment(
     return {"budgets": rows, "monotone_stale_hit_rate": monotone}
 
 
+def _latency_slice(report_dict: dict) -> dict:
+    """The SLO view of a run's merged latency histogram."""
+    latency = report_dict["latency"]
+    return {
+        "p50_ms": latency["p50_ms"],
+        "p99_ms": latency["p99_ms"],
+        "p999_ms": latency["p999_ms"],
+        "mean_ms": latency["mean_ms"],
+        "overflow": latency["overflow"],
+    }
+
+
+def _totals_slice(report_dict: dict) -> dict:
+    totals = report_dict["totals"]
+    return {
+        field: totals[field]
+        for field in (
+            "lookups",
+            "hit_rate",
+            "stale_hit_rate",
+            "miss_rate",
+            "unavailable",
+            "failovers",
+            "read_repairs",
+            "frontend_hits",
+            "evictions",
+        )
+    }
+
+
+def _window_samples(report, config: ServiceConfig, begin: float, end: float):
+    """Bridge samples that fell inside the run-relative window."""
+    lo = config.start_hour + begin
+    hi = config.start_hour + end
+    return [s for s in report.samples if lo <= s.when_hours < hi]
+
+
+def failover_experiment(
+    pages: Optional[List[PageBlueprint]] = None,
+    *,
+    count: int = 12,
+    lookups: int = 12_000,
+    rate_per_hour: float = 4_000.0,
+    shards: int = 8,
+    replications: Sequence[int] = (1, 2),
+    down_at_hours: float = 1.0,
+    up_at_hours: float = 2.25,
+    freshness_hours: float = 1.0,
+    ttl_hours: float = 8.0,
+    crawl_budget_per_hour: float = 40.0,
+    seed: int = 0,
+    bridge_sample_every: int = 0,
+    bridge_max_samples: int = 3,
+    bridge_with_loads: bool = False,
+    cache: Optional[SnapshotCache] = None,
+) -> dict:
+    """Kill the hottest page's primary shard mid-run, at each replication.
+
+    One shard — the structural primary of the Zipf-head page — goes down
+    for ``[down_at_hours, up_at_hours)`` (run-relative), losing its
+    resident set; it heals empty.  The *same* workload and fault plan
+    run once per replication factor: without replicas the victim's
+    keyspace goes cold for the whole outage, with ``replication >= 2``
+    reads fail over to the surviving copies and the served-hint rate
+    barely moves.  Each row reports overall and in-window serving,
+    p50/p99/p999 lookup latency, and — when sampling is on — the
+    accuracy bridge's precision/recall over in-window lookups (the
+    degraded-mode hint quality).
+    """
+    if pages is None:
+        pages = news_sports_corpus(count)
+    active_cache = cache if cache is not None else SnapshotCache()
+    probe = ServiceConfig(pages=len(pages), shards=shards)
+    victim = PlacementMap(shards, probe.vnodes).shard_for(
+        HintService.page_url(pages[0])
+    )
+    start = probe.start_hour
+    rule = shard_outage_rule(
+        victim,
+        down_at_hours=start + down_at_hours,
+        up_at_hours=start + up_at_hours,
+    )
+    rows = []
+    for replication in replications:
+        config = ServiceConfig(
+            pages=len(pages),
+            lookups=lookups,
+            rate_per_hour=rate_per_hour,
+            shards=shards,
+            replication=replication,
+            freshness_hours=freshness_hours,
+            ttl_hours=ttl_hours,
+            crawl_budget_per_hour=crawl_budget_per_hour,
+            prewarm=True,
+            seed=seed,
+            bridge_sample_every=bridge_sample_every,
+            shard_fault_rules=(rule,),
+            track_window=(down_at_hours, up_at_hours),
+        )
+        report = HintService(pages, config).run()
+        report_dict = report.as_dict()
+        row = {
+            "replication": replication,
+            "totals": _totals_slice(report_dict),
+            "latency": _latency_slice(report_dict),
+            "window": report_dict["window"],
+            "health_events": report_dict["placement"]["health_events"],
+        }
+        degraded = _window_samples(report, config, down_at_hours, up_at_hours)
+        if degraded:
+            row["bridge_window"] = evaluate_samples(
+                pages,
+                degraded,
+                max_samples=bridge_max_samples,
+                with_loads=bridge_with_loads,
+                cache=active_cache,
+            )["aggregate"]
+        rows.append(row)
+    return {
+        "victim_shard": victim,
+        "down_at_hours": down_at_hours,
+        "up_at_hours": up_at_hours,
+        "rows": rows,
+    }
+
+
+def flash_crowd_experiment(
+    pages: Optional[List[PageBlueprint]] = None,
+    *,
+    count: int = 12,
+    lookups: int = 12_000,
+    rate_per_hour: float = 4_000.0,
+    shards: int = 8,
+    replication: int = 1,
+    flash_at_hours: float = 1.0,
+    flash_duration_hours: float = 0.25,
+    flash_multiplier: float = 8.0,
+    flash_focus: float = 0.8,
+    frontend_variants: Sequence[int] = (0, 4),
+    freshness_hours: float = 1.0,
+    ttl_hours: float = 8.0,
+    crawl_budget_per_hour: float = 40.0,
+    seed: int = 0,
+    bridge_sample_every: int = 0,
+    bridge_max_samples: int = 3,
+    bridge_with_loads: bool = False,
+    cache: Optional[SnapshotCache] = None,
+) -> dict:
+    """Breaking-news spike on the Zipf-head page, with/without mitigation.
+
+    Inside the flash window arrivals clump at ``flash_multiplier`` times
+    the base rate and ``flash_focus`` of them hit one page — all of that
+    lands on a single ring segment, which is exactly the hot-shard
+    problem.  The same spike runs once per frontend-cache variant
+    (0 = unmitigated): the tiny per-frontend cache absorbs the head
+    page's reads, which shows up as ``frontend_hits`` and a flatter
+    p999.
+    """
+    if pages is None:
+        pages = news_sports_corpus(count)
+    active_cache = cache if cache is not None else SnapshotCache()
+    rows = []
+    for capacity in frontend_variants:
+        config = ServiceConfig(
+            pages=len(pages),
+            lookups=lookups,
+            rate_per_hour=rate_per_hour,
+            shards=shards,
+            replication=replication,
+            freshness_hours=freshness_hours,
+            ttl_hours=ttl_hours,
+            crawl_budget_per_hour=crawl_budget_per_hour,
+            prewarm=True,
+            seed=seed,
+            bridge_sample_every=bridge_sample_every,
+            frontend_cache_entries=capacity,
+            flash_at_hours=flash_at_hours,
+            flash_duration_hours=flash_duration_hours,
+            flash_multiplier=flash_multiplier,
+            flash_focus=flash_focus,
+            track_window=(
+                flash_at_hours,
+                flash_at_hours + flash_duration_hours,
+            ),
+        )
+        report = HintService(pages, config).run()
+        report_dict = report.as_dict()
+        row = {
+            "frontend_cache_entries": capacity,
+            "totals": _totals_slice(report_dict),
+            "latency": _latency_slice(report_dict),
+            "window": report_dict["window"],
+            "frontend": report_dict.get("frontend"),
+        }
+        spike = _window_samples(
+            report,
+            config,
+            flash_at_hours,
+            flash_at_hours + flash_duration_hours,
+        )
+        if spike:
+            row["bridge_window"] = evaluate_samples(
+                pages,
+                spike,
+                max_samples=bridge_max_samples,
+                with_loads=bridge_with_loads,
+                cache=active_cache,
+            )["aggregate"]
+        rows.append(row)
+    return {
+        "flash_at_hours": flash_at_hours,
+        "flash_duration_hours": flash_duration_hours,
+        "flash_multiplier": flash_multiplier,
+        "rows": rows,
+    }
+
+
+def reshard_experiment(
+    pages: Optional[List[PageBlueprint]] = None,
+    *,
+    count: int = 12,
+    lookups: int = 8_000,
+    rate_per_hour: float = 4_000.0,
+    shards: int = 4,
+    replication: int = 2,
+    reshard_at_hours: float = 0.6,
+    reshard_points_per_tick: int = 8,
+    freshness_hours: float = 1.0,
+    ttl_hours: float = 8.0,
+    crawl_budget_per_hour: float = 40.0,
+    seed: int = 0,
+    audited: bool = True,
+) -> dict:
+    """Add a shard under live traffic; prove nobody noticed.
+
+    Two runs see the *identical* workload: a control at ``shards`` and a
+    reshard run that begins adding shard ``shards`` at
+    ``reshard_at_hours``, migrating a few ring segments per batch tick.
+    Both runs chain a sha1 fingerprint over every served (status,
+    payload) pair — migration moves entries without touching payloads or
+    ages, so the streams must match bit-for-bit.  With ``audited`` the
+    reshard run also verifies placement residency on every lookup
+    (``REPRO_AUDIT`` machinery), so a wrong-shard routing mid-migration
+    raises instead of skewing results.
+    """
+    if pages is None:
+        pages = news_sports_corpus(count)
+
+    def run(reshard: bool) -> dict:
+        config = ServiceConfig(
+            pages=len(pages),
+            lookups=lookups,
+            rate_per_hour=rate_per_hour,
+            shards=shards,
+            replication=replication,
+            freshness_hours=freshness_hours,
+            ttl_hours=ttl_hours,
+            crawl_budget_per_hour=crawl_budget_per_hour,
+            prewarm=True,
+            seed=seed,
+            fingerprint=True,
+            reshard_add_at_hours=reshard_at_hours if reshard else None,
+            reshard_points_per_tick=reshard_points_per_tick,
+        )
+        return HintService(pages, config).run().as_dict()
+
+    control = run(reshard=False)
+    was_enabled = audit.ENABLED
+    if audited:
+        audit.enable()
+    try:
+        resharded = run(reshard=True)
+    finally:
+        if audited and not was_enabled:
+            audit.disable()
+    migration = resharded["placement"]["migration"]
+    total_keys = 2 * len(pages)  # (page, device-class) keys
+    return {
+        "control_fingerprint": control["fingerprint"],
+        "reshard_fingerprint": resharded["fingerprint"],
+        "payloads_match": (
+            control["fingerprint"] == resharded["fingerprint"]
+        ),
+        "audited": audited,
+        "migration": migration,
+        "keys_moved_fraction": round(
+            migration["keys_moved"] / total_keys, 6
+        ),
+        "shards_before": shards,
+        "shards_after": len(resharded["placement"]["shards"]),
+        "control_latency": _latency_slice(control),
+        "reshard_latency": _latency_slice(resharded),
+        "control_evictions": control["totals"]["evictions"],
+        "reshard_evictions": resharded["totals"]["evictions"],
+    }
+
+
 def service_benchmark(
     pages: Optional[List[PageBlueprint]] = None,
     *,
@@ -127,13 +426,15 @@ def service_benchmark(
     seed: int = 0,
     bridge_sample_every: int = 10_000,
     budgets: Sequence[float] = DEFAULT_BUDGETS,
+    scenarios: bool = True,
     cache: Optional[SnapshotCache] = None,
 ) -> dict:
     """The full ``BENCH_service.json`` payload.
 
-    One full-scale service run (the headline counters) plus the
-    crawl-budget staleness sweep on a smaller fleet.  Pure function of
-    its arguments — no wall clock anywhere.
+    One full-scale service run (the headline counters), the
+    crawl-budget staleness sweep on a smaller fleet, and the fleet
+    scenarios (shard kill at each replication, flash crowd, live
+    reshard).  Pure function of its arguments — no wall clock anywhere.
     """
     if pages is None:
         pages = news_sports_corpus(count)
@@ -164,6 +465,20 @@ def service_benchmark(
     payload["staleness"] = staleness_experiment(
         budgets=budgets, seed=seed, cache=active_cache
     )
+    if scenarios:
+        payload["scenarios"] = {
+            "kill_shard": failover_experiment(
+                seed=seed,
+                bridge_sample_every=500,
+                cache=active_cache,
+            ),
+            "flash_crowd": flash_crowd_experiment(
+                seed=seed,
+                bridge_sample_every=500,
+                cache=active_cache,
+            ),
+            "reshard": reshard_experiment(seed=seed, audited=True),
+        }
     return payload
 
 
@@ -191,7 +506,19 @@ EXPECTED_SMOKE = {
     "evictions": 0,
     "hit_rate": 0.7574,
     "stale_hit_rate": 0.5202,
+    # Fleet counters: the smoke config runs one replica, no faults, no
+    # frontend cache — all of these must stay zero.
+    "unavailable": 0,
+    "failovers": 0,
+    "read_repairs": 0,
+    "frontend_hits": 0,
 }
+
+
+#: In-outage served-hint rate the replicated smoke run must clear — and
+#: the unreplicated run must fall below (the Zipf head's primary is the
+#: victim, so without replicas a visible slice of traffic goes cold).
+KILL_SHARD_SERVED_FLOOR = 0.9
 
 
 def smoke_run(cache: Optional[SnapshotCache] = None) -> dict:
@@ -202,7 +529,104 @@ def smoke_run(cache: Optional[SnapshotCache] = None) -> dict:
     return report.as_dict()
 
 
-def smoke_check(report: dict) -> List[str]:
+def smoke_scenarios(cache: Optional[SnapshotCache] = None) -> dict:
+    """Small pinned fleet scenarios riding along with the smoke run."""
+    active_cache = cache if cache is not None else SnapshotCache()
+    return {
+        "kill_shard": failover_experiment(
+            count=8,
+            lookups=3_000,
+            rate_per_hour=2_000.0,
+            down_at_hours=0.4,
+            up_at_hours=1.0,
+            seed=1701,
+            bridge_sample_every=250,
+            bridge_max_samples=2,
+            bridge_with_loads=False,
+            cache=active_cache,
+        ),
+        "flash_crowd": flash_crowd_experiment(
+            count=8,
+            lookups=3_000,
+            rate_per_hour=2_000.0,
+            flash_at_hours=0.5,
+            flash_duration_hours=0.15,
+            seed=1701,
+            cache=active_cache,
+        ),
+        "reshard": reshard_experiment(
+            count=8,
+            lookups=2_500,
+            rate_per_hour=2_000.0,
+            seed=1701,
+            audited=True,
+        ),
+    }
+
+
+def _scenario_problems(scenarios: dict) -> List[str]:
+    """Invariant violations in a :func:`smoke_scenarios` payload."""
+    problems = []
+    by_replication = {
+        row["replication"]: row for row in scenarios["kill_shard"]["rows"]
+    }
+    degraded = by_replication[1]["window"]["served_rate"]
+    replicated = by_replication[2]["window"]["served_rate"]
+    if replicated < KILL_SHARD_SERVED_FLOOR:
+        problems.append(
+            "kill_shard: replication=2 in-outage served rate "
+            f"{replicated} below floor {KILL_SHARD_SERVED_FLOOR}"
+        )
+    if degraded >= KILL_SHARD_SERVED_FLOOR:
+        problems.append(
+            "kill_shard: replication=1 in-outage served rate "
+            f"{degraded} should visibly degrade below "
+            f"{KILL_SHARD_SERVED_FLOOR}"
+        )
+    if by_replication[2]["totals"]["failovers"] < 1:
+        problems.append("kill_shard: replication=2 recorded no failovers")
+
+    by_capacity = {
+        row["frontend_cache_entries"]: row
+        for row in scenarios["flash_crowd"]["rows"]
+    }
+    cached = by_capacity[max(by_capacity)]
+    uncached = by_capacity[0]
+    if cached["totals"]["frontend_hits"] < 1:
+        problems.append("flash_crowd: frontend cache absorbed no reads")
+    if uncached["totals"]["frontend_hits"] != 0:
+        problems.append(
+            "flash_crowd: capacity-0 run recorded frontend hits"
+        )
+    if cached["latency"]["p999_ms"] > uncached["latency"]["p999_ms"]:
+        problems.append(
+            "flash_crowd: frontend cache raised p999 "
+            f"({cached['latency']['p999_ms']} > "
+            f"{uncached['latency']['p999_ms']})"
+        )
+
+    reshard = scenarios["reshard"]
+    if not reshard["payloads_match"]:
+        problems.append(
+            "reshard: served payload stream diverged from control "
+            f"({reshard['reshard_fingerprint']} != "
+            f"{reshard['control_fingerprint']})"
+        )
+    if not reshard["audited"]:
+        problems.append("reshard: run was not audited")
+    if reshard["shards_after"] != reshard["shards_before"] + 1:
+        problems.append(
+            "reshard: shard did not finish joining "
+            f"({reshard['shards_before']} -> {reshard['shards_after']})"
+        )
+    if reshard["migration"]["keys_moved"] < 1:
+        problems.append("reshard: migration moved no keys")
+    return problems
+
+
+def smoke_check(
+    report: dict, scenarios: Optional[dict] = None
+) -> List[str]:
     """Mismatches between a smoke report and the golden counters."""
     problems = []
     totals = report["totals"]
@@ -210,4 +634,6 @@ def smoke_check(report: dict) -> List[str]:
         actual = totals.get(field)
         if actual != expected:
             problems.append(f"{field}: expected {expected!r}, got {actual!r}")
+    if scenarios is not None:
+        problems.extend(_scenario_problems(scenarios))
     return problems

@@ -31,6 +31,13 @@ included): two runs produce bit-identical reports.
 
 from repro.service.backend import HintService, ServiceConfig, ServiceReport
 from repro.service.bridge import BridgeSample, evaluate_samples
+from repro.service.placement import (
+    FleetLookup,
+    FleetStore,
+    FrontendCache,
+    PlacementMap,
+    shard_outage_rule,
+)
 from repro.service.scheduler import BatchScheduler, ResolutionJob
 from repro.service.store import DependencyStore, LookupStatus, StoreEntry
 from repro.service.workload import Workload, ZipfPopularity
@@ -44,6 +51,11 @@ __all__ = [
     "BatchScheduler",
     "ResolutionJob",
     "DependencyStore",
+    "FleetLookup",
+    "FleetStore",
+    "FrontendCache",
+    "PlacementMap",
+    "shard_outage_rule",
     "LookupStatus",
     "StoreEntry",
     "Workload",

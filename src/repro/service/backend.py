@@ -29,18 +29,20 @@ produce bit-identical :class:`ServiceReport` dictionaries.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.calibration import DEFAULT_EVAL_HOUR, OFFLINE_WINDOW_LOADS
 from repro.core.offline import OfflineResolver, stable_set_to_dict
+from repro.net.faults import FaultPlan, FaultRule
 from repro.net.simulator import Simulator
 from repro.pages.page import PageBlueprint
 from repro.service.bridge import BridgeSample
+from repro.service.placement import FleetLookup, FleetStore
 from repro.service.scheduler import BatchScheduler, ResolutionJob
 from repro.service.store import (
-    DependencyStore,
     LatencyHistogram,
     LookupStatus,
     StoreConfig,
@@ -49,6 +51,20 @@ from repro.service.store import (
     stable_hash,
 )
 from repro.service.workload import Workload, WorkloadConfig
+
+
+def _fault_rule_dict(rule: FaultRule) -> dict:
+    """JSON-clean form of a fault rule (``inf`` becomes ``None``)."""
+    return {
+        "kind": rule.kind.value,
+        "rate": rule.rate,
+        "url_substring": rule.url_substring,
+        "domain": rule.domain,
+        "not_before": rule.not_before,
+        "not_after": (
+            None if rule.not_after == float("inf") else rule.not_after
+        ),
+    }
 
 
 @dataclass(frozen=True)
@@ -69,6 +85,36 @@ class ServiceConfig:
     shard_memory_bytes: int = 256 * 1024
     ttl_hours: float = 12.0
     freshness_hours: float = 2.0
+    # -- fleet placement -------------------------------------------------
+    #: Copies per entry: writes fan out to this many distinct shards,
+    #: reads fail over along the same preference list.
+    replication: int = 1
+    #: Hot-key mitigation: entries in the per-frontend cache (0 = off).
+    frontend_cache_entries: int = 0
+    frontend_cache_ttl_hours: float = 0.05
+    #: Shard outage windows, expressed as :class:`repro.net.faults`
+    #: rules matched against the synthetic shard URLs (see
+    #: :func:`repro.service.placement.shard_outage_rule`).  Times are
+    #: absolute simulated hours (``start_hour``-based).
+    shard_fault_rules: Tuple[FaultRule, ...] = ()
+    fault_seed: int = 0
+    #: Live resharding: add one shard this many hours into the run
+    #: (None = never) and migrate this many ring segments per batch tick.
+    reshard_add_at_hours: Optional[float] = None
+    reshard_points_per_tick: int = 8
+    # -- flash crowd -----------------------------------------------------
+    flash_at_hours: Optional[float] = None
+    flash_duration_hours: float = 0.1
+    flash_multiplier: float = 10.0
+    flash_focus: float = 0.8
+    flash_page_rank: int = 0
+    # -- extra instrumentation -------------------------------------------
+    #: Run-relative (start, end) hours whose lookups are tallied
+    #: separately — how did serving hold up *during* the incident?
+    track_window: Optional[Tuple[float, float]] = None
+    #: Chain a sha1 over every served (seq, status, payload URLs); the
+    #: reshard experiment compares runs by this digest.
+    fingerprint: bool = False
     # -- offline-resolution scheduler -----------------------------------
     batch_period_hours: float = 0.25
     crawl_budget_per_hour: float = 60.0
@@ -94,6 +140,11 @@ class ServiceConfig:
             phone_fraction=self.phone_fraction,
             user_pool=self.user_pool,
             seed=self.seed,
+            flash_at_hours=self.flash_at_hours,
+            flash_duration_hours=self.flash_duration_hours,
+            flash_multiplier=self.flash_multiplier,
+            flash_focus=self.flash_focus,
+            flash_page_rank=self.flash_page_rank,
         )
 
     def store(self) -> StoreConfig:
@@ -103,7 +154,15 @@ class ServiceConfig:
             shard_memory_bytes=self.shard_memory_bytes,
             ttl_hours=self.ttl_hours,
             freshness_hours=self.freshness_hours,
+            replication=self.replication,
+            frontend_cache_entries=self.frontend_cache_entries,
+            frontend_cache_ttl_hours=self.frontend_cache_ttl_hours,
         )
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        if not self.shard_fault_rules:
+            return None
+        return FaultPlan(seed=self.fault_seed, rules=self.shard_fault_rules)
 
     def as_dict(self) -> dict:
         return {
@@ -124,6 +183,24 @@ class ServiceConfig:
             "start_hour": self.start_hour,
             "seed": self.seed,
             "bridge_sample_every": self.bridge_sample_every,
+            "replication": self.replication,
+            "frontend_cache_entries": self.frontend_cache_entries,
+            "frontend_cache_ttl_hours": self.frontend_cache_ttl_hours,
+            "shard_fault_rules": [
+                _fault_rule_dict(rule) for rule in self.shard_fault_rules
+            ],
+            "fault_seed": self.fault_seed,
+            "reshard_add_at_hours": self.reshard_add_at_hours,
+            "reshard_points_per_tick": self.reshard_points_per_tick,
+            "flash_at_hours": self.flash_at_hours,
+            "flash_duration_hours": self.flash_duration_hours,
+            "flash_multiplier": self.flash_multiplier,
+            "flash_focus": self.flash_focus,
+            "flash_page_rank": self.flash_page_rank,
+            "track_window": (
+                list(self.track_window) if self.track_window else None
+            ),
+            "fingerprint": self.fingerprint,
         }
 
 
@@ -145,6 +222,15 @@ class ServiceReport:
     scheduler: dict
     #: Hit rate per tenth of the lookup stream — the warm-up curve.
     warmup_hit_rate: List[float]
+    #: Placement-map state: version, replication, health events,
+    #: migration counters.
+    placement: dict = field(default_factory=dict)
+    #: Per-frontend hot-key cache counters (None when disabled).
+    frontend: Optional[dict] = None
+    #: Serving stats inside ``config.track_window`` (None when unset).
+    window: Optional[dict] = None
+    #: sha1 chain over the served hint stream (None when disabled).
+    fingerprint: Optional[str] = None
     samples: List[BridgeSample] = field(default_factory=list)
 
     @property
@@ -157,7 +243,7 @@ class ServiceReport:
 
     def as_dict(self) -> dict:
         """JSON-ready form; deterministic modulo nothing (no wall clock)."""
-        return {
+        out = {
             "config": self.config,
             "duration_hours": round(self.duration_hours, 6),
             "totals": self.totals,
@@ -169,7 +255,15 @@ class ServiceReport:
             },
             "scheduler": self.scheduler,
             "warmup_hit_rate": self.warmup_hit_rate,
+            "placement": self.placement,
         }
+        if self.frontend is not None:
+            out["frontend"] = self.frontend
+        if self.window is not None:
+            out["window"] = self.window
+        if self.fingerprint is not None:
+            out["fingerprint"] = self.fingerprint
+        return out
 
 
 class HintService:
@@ -184,7 +278,9 @@ class HintService:
             )
         self.pages = pages
         self.config = config
-        self.store = DependencyStore(config.store())
+        self.store = FleetStore(
+            config.store(), fault_plan=config.fault_plan()
+        )
         self.scheduler = BatchScheduler(
             budget_loads_per_hour=config.crawl_budget_per_hour,
             batch_period_hours=config.batch_period_hours,
@@ -198,6 +294,13 @@ class HintService:
         #: Per-decile (hits+stale_hits, lookups) for the warm-up curve.
         self._decile_served = [0] * 10
         self._decile_lookups = [0] * 10
+        #: Latency samples with no shard behind them: frontend-cache
+        #: hits and fully unavailable keys.
+        self._front_latency = LatencyHistogram()
+        self._window_lookups = 0
+        self._window_served = 0
+        self._fingerprint = hashlib.sha1() if config.fingerprint else None
+        self._reshard_started = False
 
     # -- helpers ----------------------------------------------------------
 
@@ -213,29 +316,62 @@ class HintService:
             self._resolvers[page_name] = resolver
         return resolver
 
-    def _lookup_latency_ms(self, shard, seq: int) -> float:
+    #: Per-attempt deadline a front end spends on a fully-down key (ms).
+    UNAVAILABLE_TIMEOUT_MS = 5.0
+
+    def _lookup_latency_ms(self, result: FleetLookup, seq: int) -> float:
         """Deterministic per-lookup service latency (milliseconds).
 
         Base dispatch cost, a logarithmic occupancy term (index walk),
-        and a heavy-tailed deterministic jitter drawn from a sha1 of the
+        a heavy-tailed deterministic jitter drawn from a sha1 of the
         sequence number — giving a realistic p50≪p99 spread that is
-        bit-identical across runs.
+        bit-identical across runs — plus one extra hop per replica
+        probed past the first.  Frontend-cache hits skip the shard walk
+        entirely; a fully unavailable key burns the probe timeout.
         """
-        base = 0.15
-        occupancy = 0.02 * math.log2(1.0 + len(shard))
         draw = (stable_hash(f"lat{seq}") % 10_000) / 10_000.0
+        if result.unavailable:
+            return self.UNAVAILABLE_TIMEOUT_MS
+        if result.frontend:
+            return 0.02 + 0.005 * draw
+        base = 0.15
+        occupancy = 0.02 * math.log2(1.0 + len(result.shard))
         jitter = 0.05 * draw + 4.0 * draw ** 12
-        return base + occupancy + jitter
+        extra_hops = 0.12 * (result.probes - 1)
+        return base + occupancy + jitter + extra_hops
 
     # -- event handlers ---------------------------------------------------
 
     def _handle_lookup(self, lookup, now_hours: float) -> None:
         page = self.pages[lookup.page_index]
-        key = (page.name, lookup.device_class)
-        entry, status, shard = self.store.lookup(
+        self.store.sync_health(now_hours)
+        result = self.store.lookup(
             self.page_url(page), page.name, lookup.device_class, now_hours
         )
-        shard.latency.record(self._lookup_latency_ms(shard, lookup.seq))
+        entry, status = result.entry, result.status
+        latency_ms = self._lookup_latency_ms(result, lookup.seq)
+        if result.shard is not None:
+            result.shard.latency.record(latency_ms)
+        else:
+            self._front_latency.record(latency_ms)
+
+        served = status in (LookupStatus.HIT, LookupStatus.STALE_HIT)
+        if self._fingerprint is not None:
+            urls = (
+                ",".join(sorted(entry.payload.get("urls", [])))
+                if entry is not None
+                else ""
+            )
+            self._fingerprint.update(
+                f"{lookup.seq}|{status.value if served else 'cold'}|{urls}\n"
+                .encode()
+            )
+        if self.config.track_window is not None:
+            begin, end = self.config.track_window
+            relative = now_hours - self.config.start_hour
+            if begin <= relative < end:
+                self._window_lookups += 1
+                self._window_served += 1 if served else 0
 
         tenant = self._tenants.setdefault(
             tenant_of(page.name),
@@ -299,11 +435,15 @@ class HintService:
     ) -> Optional[float]:
         page_name, device_class = key
         page = self._page_by_name[page_name]
-        shard = self.store.shard_for_page(self.page_url(page))
-        entry = shard.get(key)
+        entry = self.store.peek(self.page_url(page), key)
         if entry is None:
             return None
-        return entry.age_hours(now_hours)
+        age = entry.age_hours(now_hours)
+        if age > self.config.ttl_hours:
+            # The store will refuse to serve it: an expired-but-not-yet-
+            # dropped entry must rank as cold, not *below* cold misses.
+            return None
+        return age
 
     def _install_entry(
         self, page_name: str, device_class: str, now_hours: float
@@ -330,11 +470,26 @@ class HintService:
                 )
 
     def _run_batch(self, now_hours: float) -> None:
+        self.store.sync_health(now_hours)
+        self._drive_reshard(now_hours)
         batch = self.scheduler.take_batch(
             now_hours, lambda key: self._staleness_of(key, now_hours)
         )
         for job in batch:
             self._install_entry(job.page, job.device_class, now_hours)
+
+    def _drive_reshard(self, now_hours: float) -> None:
+        """Advance the configured live reshard, a few segments per tick."""
+        reshard_at = self.config.reshard_add_at_hours
+        if reshard_at is None:
+            return
+        if now_hours - self.config.start_hour < reshard_at:
+            return
+        if not self._reshard_started:
+            self.store.begin_add_shard()
+            self._reshard_started = True
+        if self.store.reshard_pending():
+            self.store.reshard_step(self.config.reshard_points_per_tick)
 
     # -- the run ----------------------------------------------------------
 
@@ -346,6 +501,7 @@ class HintService:
                 "per run"
             )
         self._ran = True
+        self.store.sync_health(self.config.start_hour)
         if self.config.prewarm:
             self._prewarm()
         sim = Simulator()
@@ -399,13 +555,16 @@ class HintService:
         )
 
         shard_rows = []
-        for shard in self.store.shards:
+        for shard in self.store.shard_list():
             row = {"shard": shard.index, "entries": len(shard)}
+            row["retired"] = shard.index not in self.store.shards
+            row["down"] = shard.index in self.store.down
             row.update(shard.counters.as_dict())
             row.update(shard.latency.summary())
             shard_rows.append(row)
         merged = LatencyHistogram.merged(
-            [shard.latency for shard in self.store.shards]
+            [shard.latency for shard in self.store.shard_list()]
+            + [self._front_latency]
         )
 
         warmup = []
@@ -416,6 +575,20 @@ class HintService:
                 round(served_d / lookups_d, 6) if lookups_d else 0.0
             )
 
+        window = None
+        if self.config.track_window is not None:
+            window = {
+                "begin_hours": self.config.track_window[0],
+                "end_hours": self.config.track_window[1],
+                "lookups": self._window_lookups,
+                "served": self._window_served,
+                "served_rate": (
+                    round(self._window_served / self._window_lookups, 6)
+                    if self._window_lookups
+                    else 0.0
+                ),
+            }
+
         return ServiceReport(
             config=self.config.as_dict(),
             duration_hours=duration,
@@ -425,5 +598,17 @@ class HintService:
             tenants=self._tenants,
             scheduler=self.scheduler.counters.as_dict(),
             warmup_hit_rate=warmup,
+            placement=self.store.placement_summary(),
+            frontend=(
+                self.store.frontend.as_dict()
+                if self.store.frontend is not None
+                else None
+            ),
+            window=window,
+            fingerprint=(
+                self._fingerprint.hexdigest()
+                if self._fingerprint is not None
+                else None
+            ),
             samples=list(self._samples),
         )

@@ -59,7 +59,14 @@ class SchedulerCounters:
     enqueued: int = 0
     coalesced: int = 0
     executed: int = 0
+    #: Unique deferrals: a job is counted once per stretch it spends
+    #: queued past a batch tick, not once per tick it sits there —
+    #: cumulative re-counting made the number meaningless at fleet
+    #: scale.  Re-deferral after an execution counts again (it is a new
+    #: deferral).
     deferred: int = 0
+    #: Largest pending-queue depth observed at any batch tick.
+    pending_peak: int = 0
     loads_spent: int = 0
     budget_offered: float = 0.0
 
@@ -69,6 +76,7 @@ class SchedulerCounters:
             "coalesced": self.coalesced,
             "executed": self.executed,
             "deferred": self.deferred,
+            "pending_peak": self.pending_peak,
             "loads_spent": self.loads_spent,
             "budget_offered": round(self.budget_offered, 6),
             "budget_utilization": (
@@ -100,6 +108,8 @@ class BatchScheduler:
         self.loads_per_job = loads_per_job
         self.counters = SchedulerCounters()
         self._pending: Dict[Key, ResolutionJob] = {}
+        #: Keys already counted as deferred for their current queue stay.
+        self._deferred_seen: set = set()
         self._credit = 0.0
         #: Credit cap: the current period's accrual plus one banked
         #: period — but never below one job's cost, or a budget smaller
@@ -157,14 +167,22 @@ class BatchScheduler:
             ranked.append((-self.priority(job, staleness), key, job))
         ranked.sort()
 
+        self.counters.pending_peak = max(
+            self.counters.pending_peak, len(self._pending)
+        )
         batch: List[ResolutionJob] = []
         for _, key, job in ranked:
             if self._credit < self.loads_per_job:
                 break
             self._credit -= self.loads_per_job
             del self._pending[key]
+            self._deferred_seen.discard(key)
             batch.append(job)
         self.counters.executed += len(batch)
-        self.counters.deferred += len(self._pending)
+        newly_deferred = [
+            key for key in self._pending if key not in self._deferred_seen
+        ]
+        self.counters.deferred += len(newly_deferred)
+        self._deferred_seen.update(newly_deferred)
         self.counters.loads_spent += len(batch) * self.loads_per_job
         return batch

@@ -113,7 +113,11 @@ class LatencyHistogram:
 
     def record(self, latency_ms: float) -> None:
         index = int(latency_ms / self.bucket_ms)
-        if index >= len(self._counts):
+        if index < 0:
+            # A negative sample would otherwise wrap to the tail buckets
+            # (Python's negative indexing) and silently inflate p99.
+            index = 0
+        elif index >= len(self._counts):
             index = len(self._counts) - 1
         self._counts[index] += 1
         self.samples += 1
@@ -134,6 +138,11 @@ class LatencyHistogram:
     @property
     def mean(self) -> float:
         return self.total_ms / self.samples if self.samples else 0.0
+
+    @property
+    def overflow(self) -> int:
+        """Samples truncated into the top (catch-all) bucket."""
+        return self._counts[-1]
 
     @classmethod
     def merged(cls, histograms: List["LatencyHistogram"]) -> "LatencyHistogram":
@@ -158,6 +167,10 @@ class LatencyHistogram:
             "p50_ms": round(self.percentile(0.50), 6),
             "p90_ms": round(self.percentile(0.90), 6),
             "p99_ms": round(self.percentile(0.99), 6),
+            "p999_ms": round(self.percentile(0.999), 6),
+            # Tail truncation must be visible: a non-zero overflow means
+            # the top percentiles are clipped at the last bucket edge.
+            "overflow": self.overflow,
         }
 
 
@@ -242,6 +255,24 @@ class Shard:
         """Entries in LRU order (least recent first)."""
         return list(self._entries.values())
 
+    def discard(self, key: Tuple[str, str]) -> Optional[StoreEntry]:
+        """Silently remove an entry (migration bookkeeping, not a miss)."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self.counters.resident_bytes -= entry.size_bytes
+        return entry
+
+    def wipe(self) -> int:
+        """Drop every entry (the shard process died); returns the count.
+
+        Counters and the latency histogram survive — they are the
+        *report's* memory, not the process's.
+        """
+        lost = len(self._entries)
+        self._entries.clear()
+        self.counters.resident_bytes = 0
+        return lost
+
 
 class HashRing:
     """Consistent-hash ring over shard indices with virtual nodes."""
@@ -280,6 +311,16 @@ class StoreConfig:
     #: Entries older than this (but within TTL) count as stale hits and
     #: trigger a refresh enqueue.
     freshness_hours: float = 2.0
+    #: Copies of every entry (1 = no replication).  Writes fan out to
+    #: the first ``replication`` distinct live shards on the ring; reads
+    #: fail over along the same preference list.
+    replication: int = 1
+    #: Hot-key mitigation: a tiny per-frontend entry cache absorbing
+    #: Zipf-head traffic before it reaches the shards (0 disables).
+    frontend_cache_entries: int = 0
+    #: How long a frontend-cached entry may be served without re-reading
+    #: its shard (bounds added staleness from the cache).
+    frontend_cache_ttl_hours: float = 0.05
 
 
 class DependencyStore:
@@ -337,6 +378,8 @@ def payload_size_bytes(payload: dict) -> int:
     urls = payload.get("urls", [])
     size = 64  # row header: key, timestamps, bookkeeping
     for url in urls:
-        size += len(url) + 2
+        # Encoded bytes, not characters: a non-ASCII fleet must not
+        # under-charge the shard budget.
+        size += len(url.encode("utf-8")) + 2
     size += 48 * len(payload.get("exemplars", {}))
     return size

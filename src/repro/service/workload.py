@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -76,6 +76,18 @@ class WorkloadConfig:
     #: Distinct client identities cycled through the traffic.
     user_pool: int = 32
     seed: int = 0
+    # -- flash crowd (breaking news concentrating on one page) -----------
+    #: Hour (workload-relative) a flash crowd starts; None disables it.
+    #: With it disabled the draw sequence is bit-identical to the
+    #: pre-flash workload generator.
+    flash_at_hours: Optional[float] = None
+    flash_duration_hours: float = 0.1
+    #: Arrival-rate multiplier inside the flash window.
+    flash_multiplier: float = 10.0
+    #: Probability an in-window arrival targets the flash page.
+    flash_focus: float = 0.8
+    #: Popularity rank of the page the crowd piles onto (0 = the head).
+    flash_page_rank: int = 0
 
 
 class Workload:
@@ -88,8 +100,28 @@ class Workload:
             raise ValueError("arrival rate must be positive")
         if not 0.0 <= config.phone_fraction <= 1.0:
             raise ValueError("phone fraction must be within [0, 1]")
+        if config.flash_at_hours is not None:
+            if config.flash_at_hours < 0:
+                raise ValueError("flash start must be non-negative")
+            if config.flash_duration_hours <= 0:
+                raise ValueError("flash duration must be positive")
+            if config.flash_multiplier <= 0:
+                raise ValueError("flash multiplier must be positive")
+            if not 0.0 <= config.flash_focus <= 1.0:
+                raise ValueError("flash focus must be within [0, 1]")
+            if not 0 <= config.flash_page_rank < config.pages:
+                raise ValueError("flash page rank outside the fleet")
         self.config = config
         self.popularity = ZipfPopularity(config.pages, config.zipf_exponent)
+
+    def _in_flash(self, now: float) -> bool:
+        flash_at = self.config.flash_at_hours
+        return (
+            flash_at is not None
+            and flash_at
+            <= now
+            < flash_at + self.config.flash_duration_hours
+        )
 
     def __iter__(self) -> Iterator[Lookup]:
         config = self.config
@@ -97,8 +129,19 @@ class Workload:
         mean_gap = 1.0 / config.rate_per_hour
         now = 0.0
         for seq in range(config.lookups):
-            now += rng.expovariate(1.0 / mean_gap)
-            page_index = self.popularity.sample(rng.random())
+            # Inside the flash window arrivals clump (rate × multiplier)
+            # and concentrate on the flash page; the window test uses the
+            # previous arrival's clock, so the draw order is fixed.
+            if self._in_flash(now):
+                now += rng.expovariate(config.flash_multiplier / mean_gap)
+                if rng.random() < config.flash_focus:
+                    page_index = config.flash_page_rank
+                    rng.random()  # keep the per-arrival draw count fixed
+                else:
+                    page_index = self.popularity.sample(rng.random())
+            else:
+                now += rng.expovariate(1.0 / mean_gap)
+                page_index = self.popularity.sample(rng.random())
             device_class = (
                 "phone" if rng.random() < config.phone_fraction else "tablet"
             )
@@ -112,14 +155,8 @@ class Workload:
             )
 
     def duration_hours(self) -> float:
-        """Arrival time of the last lookup (replays the gap draws)."""
-        config = self.config
-        rng = random.Random(config.seed)
-        mean_gap = 1.0 / config.rate_per_hour
-        now = 0.0
-        for _ in range(config.lookups):
-            now += rng.expovariate(1.0 / mean_gap)
-            rng.random()
-            rng.random()
-            rng.randrange(config.user_pool)
-        return now
+        """Arrival time of the last lookup (replays the whole stream)."""
+        last = 0.0
+        for lookup in self:
+            last = lookup.when_hours
+        return last

@@ -4,10 +4,12 @@ import pytest
 
 from repro.experiments.service import (
     EXPECTED_SMOKE,
+    KILL_SHARD_SERVED_FLOOR,
     SMOKE_CONFIG,
     service_benchmark,
     smoke_check,
     smoke_run,
+    smoke_scenarios,
     staleness_experiment,
 )
 
@@ -69,6 +71,46 @@ class TestSmoke:
         assert EXPECTED_SMOKE["lookups"] == SMOKE_CONFIG.lookups
 
 
+class TestScenarios:
+    @pytest.fixture(scope="class")
+    def scenarios(self):
+        return smoke_scenarios()
+
+    def test_scenarios_pass_their_invariants(self, scenarios):
+        assert smoke_check(smoke_run(), scenarios) == []
+
+    def test_replication_separates_the_outage(self, scenarios):
+        rows = {
+            row["replication"]: row for row in scenarios["kill_shard"]["rows"]
+        }
+        assert rows[2]["window"]["served_rate"] >= KILL_SHARD_SERVED_FLOOR
+        assert rows[1]["window"]["served_rate"] < KILL_SHARD_SERVED_FLOOR
+        # Identical workload either side: the gap is pure replication.
+        assert rows[1]["window"]["lookups"] == rows[2]["window"]["lookups"]
+        assert "bridge_window" in rows[1]  # degraded-mode hint quality
+
+    def test_frontend_cache_absorbs_the_flash(self, scenarios):
+        rows = {
+            row["frontend_cache_entries"]: row
+            for row in scenarios["flash_crowd"]["rows"]
+        }
+        capacity = max(rows)
+        assert rows[capacity]["totals"]["frontend_hits"] > 0
+        assert (
+            rows[capacity]["latency"]["p50_ms"] < rows[0]["latency"]["p50_ms"]
+        )
+
+    def test_reshard_is_invisible_to_clients(self, scenarios):
+        reshard = scenarios["reshard"]
+        assert reshard["payloads_match"] is True
+        assert reshard["audited"] is True
+        assert reshard["shards_after"] == reshard["shards_before"] + 1
+        assert reshard["migration"]["keys_moved"] >= 1
+
+    def test_scenarios_are_deterministic(self, scenarios):
+        assert smoke_scenarios() == scenarios
+
+
 class TestServiceBenchmark:
     def test_payload_shape(self, corpus):
         payload = service_benchmark(
@@ -77,8 +119,10 @@ class TestServiceBenchmark:
             rate_per_hour=1_000.0,
             bridge_sample_every=0,
             budgets=(6.0, 60.0),
+            scenarios=False,
         )
         assert payload["benchmark"] == "service"
         assert payload["report"]["totals"]["lookups"] == 2_000
         assert "bridge" not in payload  # sampling disabled
+        assert "scenarios" not in payload
         assert len(payload["staleness"]["budgets"]) == 2

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.service.backend import HintService, ServiceConfig, tenant_of
+from repro.service.placement import shard_outage_rule
+from repro.service.store import StoreEntry
 
 
 @pytest.fixture(scope="module")
@@ -135,6 +137,122 @@ class TestBridgeSampling:
     def test_disabled_by_default(self, fleet):
         report = HintService(fleet, service_config()).run()
         assert report.samples == []
+
+
+class TestSchedulerStaleness:
+    def test_expired_entry_ranks_cold_not_below_cold(self, fleet):
+        # Regression: a past-TTL entry used to report its raw age, which
+        # the priority formula treated as *staler than* COLD_STALENESS —
+        # no: the store will refuse to serve it, so it must rank as cold
+        # (None), exactly like a key that was never resolved.
+        service = HintService(fleet, service_config(ttl_hours=6.0))
+        page = fleet[0]
+        key = (page.name, "phone")
+        service.store.insert(
+            HintService.page_url(page),
+            StoreEntry(
+                page=page.name,
+                device_class="phone",
+                payload={"urls": [], "exemplars": {}},
+                computed_at_hours=1000.0,
+                size_bytes=64,
+            ),
+        )
+        assert service._staleness_of(key, 1005.0) == pytest.approx(5.0)
+        assert service._staleness_of(key, 1007.0) is None
+        assert service._staleness_of((page.name, "tablet"), 1005.0) is None
+
+
+class TestFleetRun:
+    def test_outage_with_replication_keeps_serving(self, fleet):
+        start = ServiceConfig(pages=6).start_hour
+        rule = shard_outage_rule(
+            0, down_at_hours=start + 0.1, up_at_hours=start + 0.3
+        )
+        degraded = HintService(
+            fleet,
+            service_config(
+                prewarm=True,
+                ttl_hours=50.0,
+                shard_fault_rules=(rule,),
+                track_window=(0.1, 0.3),
+            ),
+        ).run()
+        replicated = HintService(
+            fleet,
+            service_config(
+                prewarm=True,
+                ttl_hours=50.0,
+                replication=2,
+                shard_fault_rules=(rule,),
+                track_window=(0.1, 0.3),
+            ),
+        ).run()
+        assert replicated.as_dict()["window"]["served_rate"] == 1.0
+        assert replicated.totals["unavailable"] == 0
+        if degraded.totals["unavailable"]:
+            window = degraded.as_dict()["window"]
+            assert window["served_rate"] < 1.0
+        events = replicated.as_dict()["placement"]["health_events"]
+        assert [e["event"] for e in events if e["shard"] == 0] == [
+            "down",
+            "up",
+        ]
+
+    def test_fleet_run_is_deterministic(self, fleet):
+        def run():
+            start = ServiceConfig(pages=6).start_hour
+            rule = shard_outage_rule(
+                1, down_at_hours=start + 0.1, up_at_hours=start + 0.2
+            )
+            return (
+                HintService(
+                    fleet,
+                    service_config(
+                        replication=2,
+                        frontend_cache_entries=2,
+                        shard_fault_rules=(rule,),
+                        fingerprint=True,
+                    ),
+                )
+                .run()
+                .as_dict()
+            )
+
+        assert run() == run()
+
+    def test_live_reshard_mid_run_matches_control(self, fleet):
+        def run(reshard_at):
+            return (
+                HintService(
+                    fleet,
+                    service_config(
+                        prewarm=True,
+                        ttl_hours=50.0,
+                        replication=2,
+                        fingerprint=True,
+                        reshard_add_at_hours=reshard_at,
+                        reshard_points_per_tick=16,
+                        batch_period_hours=0.05,
+                    ),
+                )
+                .run()
+                .as_dict()
+            )
+
+        control = run(None)
+        resharded = run(0.1)
+        assert control["fingerprint"] == resharded["fingerprint"]
+        assert resharded["placement"]["pending_points"] == 0
+        assert len(resharded["placement"]["shards"]) == 9
+        assert resharded["placement"]["migration"]["points_moved"] == 64
+
+    def test_track_window_counts_only_window_lookups(self, fleet):
+        report = HintService(
+            fleet, service_config(track_window=(0.0, 1e9))
+        ).run()
+        window = report.as_dict()["window"]
+        assert window["lookups"] == report.totals["lookups"]
 
 
 def test_tenant_of_strips_trailing_digits():

@@ -122,6 +122,33 @@ class TestBudget:
         assert counters["budget_utilization"] == pytest.approx(0.5)
 
 
+class TestDeferralAccounting:
+    def test_deferral_counts_once_per_queue_stay(self):
+        # Regression: a job sitting through k ticks used to count k
+        # deferrals, so the counter grew with the batch period instead
+        # of with actual contention.
+        sched = scheduler(budget=3.0, period=1.0, loads=3)  # 1 job/batch
+        sched.enqueue(job(page="a"))
+        sched.enqueue(job(page="b"))
+        sched.enqueue(job(page="c"))
+        sched.take_batch(1.0, lambda key: 1.0)  # a runs; b, c defer
+        assert sched.counters.deferred == 2
+        sched.take_batch(2.0, lambda key: 1.0)  # b runs; c just waits
+        assert sched.counters.deferred == 2
+        assert sched.counters.pending_peak == 3
+
+    def test_redeferral_after_execution_counts_again(self):
+        sched = scheduler(budget=3.0, period=1.0, loads=3)
+        sched.enqueue(job(page="a"))
+        sched.enqueue(job(page="b"))
+        sched.take_batch(1.0, lambda key: 1.0)  # a runs, b defers (1)
+        sched.take_batch(2.0, lambda key: 1.0)  # b runs
+        sched.enqueue(job(page="a"))
+        sched.enqueue(job(page="b"))
+        sched.take_batch(3.0, lambda key: 1.0)  # a runs, b defers anew
+        assert sched.counters.deferred == 2
+
+
 class TestValidation:
     def test_rejects_nonpositive_knobs(self):
         with pytest.raises(ValueError):

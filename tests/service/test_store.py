@@ -150,6 +150,25 @@ class TestLatencyHistogram:
         histogram.record(99.0)
         assert histogram.percentile(0.5) == pytest.approx(1.1)
 
+    def test_negative_sample_clamps_to_the_first_bucket(self):
+        # Regression: int(-0.5 / bucket) is a negative index, which
+        # Python would quietly resolve from the tail — one bad sample
+        # used to land in the overflow bucket and drag p99 to the max.
+        histogram = LatencyHistogram(bucket_ms=0.1, buckets=10)
+        histogram.record(-0.5)
+        assert histogram.samples == 1
+        assert histogram.overflow == 0
+        assert histogram.percentile(0.99) == pytest.approx(0.1)
+
+    def test_overflow_is_surfaced_in_the_summary(self):
+        histogram = LatencyHistogram(bucket_ms=0.1, buckets=10)
+        histogram.record(0.05)
+        histogram.record(99.0)
+        summary = histogram.summary()
+        assert summary["overflow"] == 1
+        assert summary["p999_ms"] == pytest.approx(1.1)
+        assert "p999_ms" in LatencyHistogram().summary()
+
     def test_merged_equals_single_stream(self):
         left, right, both = (
             LatencyHistogram(),
@@ -206,3 +225,14 @@ class TestPayloadSize:
         )
         assert loaded > empty
         assert loaded == empty + len("a.com/x") + len("a.com/y") + 4 + 48
+
+    def test_counts_utf8_bytes_not_code_points(self):
+        # Regression: len(str) undercounted non-ASCII URLs; the wire
+        # cost of "café.com/" is its UTF-8 byte length.
+        ascii_size = payload_size_bytes(
+            {"urls": ["cafe.com/"], "exemplars": {}}
+        )
+        utf8_size = payload_size_bytes(
+            {"urls": ["café.com/"], "exemplars": {}}
+        )
+        assert utf8_size == ascii_size + 1  # é encodes to two bytes

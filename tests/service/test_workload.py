@@ -88,3 +88,69 @@ class TestWorkloadShape:
             Workload(config(rate_per_hour=0.0))
         with pytest.raises(ValueError):
             Workload(config(phone_fraction=1.5))
+
+
+class TestFlashCrowd:
+    def test_disabled_flash_leaves_the_stream_bit_identical(self):
+        # The flash branch must not perturb the base generator: PR 4's
+        # pinned smoke counters depend on this exact draw sequence.
+        plain = list(Workload(config()))
+        gated = list(Workload(config(flash_at_hours=None)))
+        assert plain == gated
+
+    def test_flash_concentrates_on_the_flash_page(self):
+        flashed = list(
+            Workload(
+                config(
+                    lookups=2000,
+                    flash_at_hours=0.5,
+                    flash_duration_hours=0.3,
+                    flash_multiplier=8.0,
+                    flash_focus=1.0,
+                    flash_page_rank=3,
+                )
+            )
+        )
+        inside = [
+            lookup
+            for lookup in flashed
+            if 0.5 <= lookup.when_hours < 0.8
+        ]
+        assert inside
+        # The window gate reads the previous arrival's clock, so the
+        # first in-window arrival may still be a base-branch draw.
+        focused = sum(1 for lookup in inside if lookup.page_index == 3)
+        assert focused >= len(inside) - 1
+
+    def test_flash_multiplies_the_arrival_rate(self):
+        window = (0.5, 0.8)
+        base = list(Workload(config(lookups=2000)))
+        flashed = list(
+            Workload(
+                config(
+                    lookups=2000,
+                    flash_at_hours=window[0],
+                    flash_duration_hours=window[1] - window[0],
+                    flash_multiplier=8.0,
+                )
+            )
+        )
+
+        def in_window(stream):
+            return sum(
+                1 for x in stream if window[0] <= x.when_hours < window[1]
+            )
+
+        assert in_window(flashed) > 3 * in_window(base)
+
+    def test_flash_validation(self):
+        with pytest.raises(ValueError):
+            Workload(config(flash_at_hours=-1.0))
+        with pytest.raises(ValueError):
+            Workload(config(flash_at_hours=1.0, flash_duration_hours=0.0))
+        with pytest.raises(ValueError):
+            Workload(config(flash_at_hours=1.0, flash_multiplier=0.0))
+        with pytest.raises(ValueError):
+            Workload(config(flash_at_hours=1.0, flash_focus=1.5))
+        with pytest.raises(ValueError):
+            Workload(config(flash_at_hours=1.0, flash_page_rank=20))
