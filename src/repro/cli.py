@@ -587,25 +587,54 @@ def cmd_bench(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    """Determinism & layering analyzer over the ``repro`` package."""
+    """Static analyzer (determinism, layering, hot-path, config drift)."""
     from pathlib import Path
 
     from repro.devtools import Baseline, lint_package
     from repro.devtools.baseline import BaselineEntry
-    from repro.devtools.findings import RULES
+    from repro.devtools.findings import RULES, family_of
 
     if args.rules:
         for code in sorted(RULES):
-            print(f"{code}  {RULES[code]}")
+            print(f"{code}  [{family_of(code)}]  {RULES[code]}")
         return 0
+    baseline_path = Path(args.baseline)
+    baseline = Baseline.load(baseline_path)
+    if args.check_baseline:
+        # CI guard: every baseline entry must carry a real reason.
+        bad = [
+            entry
+            for entry in baseline.entries
+            if not entry.reason.strip()
+            or entry.reason.strip().upper().startswith("TODO")
+        ]
+        for entry in bad:
+            print(
+                f"{baseline_path}: entry {entry.code} {entry.path} "
+                f"(occurrence {entry.occurrence}) has no usable reason: "
+                f"{entry.reason!r}",
+                file=sys.stderr,
+            )
+        print(
+            f"baseline check: {len(baseline.entries)} entr(ies), "
+            f"{len(bad)} without a reason"
+        )
+        return 1 if bad else 0
     root = (
         Path(args.root)
         if args.root
         else Path(__file__).resolve().parent
     )
-    baseline_path = Path(args.baseline)
-    baseline = Baseline.load(baseline_path)
-    report = lint_package(root, baseline=baseline)
+    try:
+        report = lint_package(
+            root,
+            baseline=baseline,
+            select=args.select or None,
+            families=args.only_family or None,
+        )
+    except ValueError as error:  # unknown --select / --only-family
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if args.update_baseline:
         # Every new baseline entry must carry a real explanation: an
         # unexplained suppression is just a hidden finding.
@@ -643,7 +672,7 @@ def cmd_lint(args) -> int:
     if args.format == "json":
         print(report.render_json())
     else:
-        print(report.render_human())
+        print(report.render_human(stats=args.stats))
     return report.exit_code
 
 
@@ -908,7 +937,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.set_defaults(func=cmd_bench)
 
     lint = commands.add_parser(
-        "lint", help="determinism & layering analyzer"
+        "lint",
+        help="static analyzer: determinism, layering, hot-path perf, "
+        "config drift",
     )
     lint.add_argument(
         "--root",
@@ -922,6 +953,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format", choices=["human", "json"], default="human"
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="CODE",
+        help="only run rules matching this code or prefix (repeatable, "
+        "e.g. --select PERF401 --select CFG)",
+    )
+    lint.add_argument(
+        "--only-family",
+        action="append",
+        default=None,
+        metavar="FAMILY",
+        help="only run one rule family: det, layering, perf, config "
+        "(repeatable)",
+    )
+    lint.add_argument(
+        "--stats",
+        action="store_true",
+        help="append a stats line (files / rules / hot functions / "
+        "duration) to human output",
+    )
+    lint.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="only validate the baseline file: fail if any entry lacks "
+        "a usable reason",
     )
     lint.add_argument(
         "--update-baseline",

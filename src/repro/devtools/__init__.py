@@ -11,29 +11,57 @@ package machine-checks both properties:
   package DAG (``audit``/``calibration`` → ``net``/``pages`` →
   ``browser``/``replay`` → ``core`` → ``baselines`` → ``analysis`` →
   ``experiments`` → ``cli``).
+* :mod:`repro.devtools.callgraph` — import-resolved project call graph;
+  ``# repro: hotpath`` pragma seeds and transitive hot-region
+  propagation, cached per tree state.
+* :mod:`repro.devtools.perfrules` — PERF4xx hot-path allocation rules
+  (per-tick allocation, per-call construction, hoistable attribute
+  chains, try/except in hot loops, missing ``__slots__``).
+* :mod:`repro.devtools.driftrules` — CFG6xx config/contract drift rules
+  (dataclass fields vs docs/API.md knob tables vs the CLI flag surface).
 * :mod:`repro.devtools.baseline` — suppression file for fully-explained
   pre-existing debt, so new violations gate CI without blocking on old
   ones.
-* :mod:`repro.devtools.runner` — file walking, pragma handling, and the
-  human/JSON reports behind ``repro lint``.
+* :mod:`repro.devtools.runner` — file walking, pragma handling, family
+  and ``--select`` filters, and the human/JSON reports behind
+  ``repro lint``.
 
 The package is pure tooling: it imports nothing from the simulation (it
 reads *source text*, never runs it), so it sits outside the simulation
 DAG entirely and may never be imported by a simulation layer.
 """
 
-from repro.devtools.findings import Finding, RULES
+from repro.devtools.findings import FAMILIES, Finding, RULES, family_of
 from repro.devtools.baseline import Baseline
+from repro.devtools.callgraph import (
+    CallGraph,
+    build_call_graph,
+    cached_project,
+    parse_package,
+)
 from repro.devtools.layering import LAYER_DEPS, check_layering, import_edges
-from repro.devtools.runner import LintReport, lint_package
+from repro.devtools.runner import (
+    LintReport,
+    LintStats,
+    lint_package,
+    resolve_selection,
+)
 
 __all__ = [
+    "FAMILIES",
     "Finding",
     "RULES",
+    "family_of",
     "Baseline",
+    "CallGraph",
+    "build_call_graph",
+    "cached_project",
+    "parse_package",
     "LAYER_DEPS",
     "check_layering",
     "import_edges",
     "LintReport",
+    "LintStats",
     "lint_package",
+    "resolve_selection",
 ]

@@ -385,6 +385,17 @@ class _RuleVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def scan_tree(tree: ast.Module, path: str, pure: bool) -> List[Finding]:
+    """Run every AST rule over an already-parsed module.
+
+    The runner parses each file exactly once and shares the tree across
+    rule families; this is the entry point that takes the shared tree.
+    """
+    visitor = _RuleVisitor(path, pure)
+    visitor.visit(tree)
+    return visitor.findings
+
+
 def scan_source(source: str, path: str, pure: bool) -> List[Finding]:
     """Run every AST rule over one module's source text.
 
@@ -392,7 +403,4 @@ def scan_source(source: str, path: str, pure: bool) -> List[Finding]:
     wall-clock and I/O rules additionally apply.  Raises ``SyntaxError``
     if the source does not parse.
     """
-    tree = ast.parse(source, filename=path)
-    visitor = _RuleVisitor(path, pure)
-    visitor.visit(tree)
-    return visitor.findings
+    return scan_tree(ast.parse(source, filename=path), path, pure)

@@ -36,9 +36,16 @@ from __future__ import annotations
 
 import ast
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterator, List, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Protocol, Tuple
 
 from repro.devtools.findings import Finding
+
+
+class ModuleLike(Protocol):
+    """What ``import_edges`` needs from a shared parsed module."""
+
+    path: str
+    tree: ast.Module
 
 _LAYER0: FrozenSet[str] = frozenset({"audit", "calibration"})
 _SUBSTRATE = _LAYER0 | {"net", "pages"}
@@ -117,14 +124,29 @@ def _target_layer(dotted: str, package: str) -> str:
 
 
 def import_edges(
-    package_root: Path, package: str = "repro"
+    package_root: Path,
+    package: str = "repro",
+    modules: Optional[List["ModuleLike"]] = None,
 ) -> Dict[Tuple[str, str], List[Tuple[str, int]]]:
-    """(from_layer, to_layer) -> [(path, line), ...] over the package."""
+    """(from_layer, to_layer) -> [(path, line), ...] over the package.
+
+    Pass ``modules`` (anything with ``.path`` and ``.tree``, e.g. the
+    runner's shared :class:`~repro.devtools.callgraph.ModuleInfo` list)
+    to reuse already-parsed trees instead of re-reading every file.
+    """
     edges: Dict[Tuple[str, str], List[Tuple[str, int]]] = {}
-    for path in sorted(package_root.rglob("*.py")):
-        relative = path.relative_to(package_root)
+    if modules is None:
+        parsed = [
+            (
+                path.relative_to(package_root),
+                ast.parse(path.read_text(), filename=str(path)),
+            )
+            for path in sorted(package_root.rglob("*.py"))
+        ]
+    else:
+        parsed = [(Path(info.path), info.tree) for info in modules]
+    for relative, tree in parsed:
         source_layer = layer_of(relative)
-        tree = ast.parse(path.read_text(), filename=str(path))
         for line, dotted in _repro_imports(tree, package):
             target = _target_layer(dotted, package)
             if target == source_layer:
@@ -136,11 +158,13 @@ def import_edges(
 
 
 def check_layering(
-    package_root: Path, package: str = "repro"
+    package_root: Path,
+    package: str = "repro",
+    modules: Optional[List["ModuleLike"]] = None,
 ) -> List[Finding]:
     """LAY301 for forbidden edges; LAY302 for package-level cycles."""
     findings: List[Finding] = []
-    edges = import_edges(package_root, package)
+    edges = import_edges(package_root, package, modules=modules)
     for (source_layer, target), sites in sorted(edges.items()):
         allowed = LAYER_DEPS.get(source_layer)
         if allowed is None:

@@ -1,14 +1,26 @@
 """Lint orchestration: file walking, pragmas, reports.
 
-``lint_package`` runs every AST rule plus the layering checker over a
-package tree, applies inline pragmas and the baseline, and returns a
-:class:`LintReport` that renders as human text or JSON (for CI).
+``lint_package`` runs every rule family over a package tree, applies
+inline pragmas and the baseline, and returns a :class:`LintReport` that
+renders as human text or JSON (for CI).
+
+Every module is read and parsed exactly **once** per run (and, via the
+call-graph cache in :mod:`repro.devtools.callgraph`, once per tree
+state across runs in the same process): the det/purity rules, the
+layering checker, the PERF4xx hot-path pass and the CFG6xx drift pass
+all share the same :class:`~repro.devtools.callgraph.ModuleInfo` list.
+
+Rule families (``--only-family``) and individual codes (``--select``)
+narrow a run; the baseline is narrowed with them, so selecting only
+``PERF401`` never reports unrelated baseline entries as stale.
 
 Inline suppression::
 
     value = risky_thing()  # repro: allow[DET105] reason for the waiver
 
-waives the named rule(s) on that line only.  Pragmas are for cases the
+waives the named rule(s) on that line only.  When the flagged line is
+too long to carry the comment, put the pragma on a comment-only line
+directly above — it waives the next code line.  Pragmas are for cases the
 surrounding code explains; cross-cutting debt belongs in the baseline
 file, where a ``reason`` is mandatory.
 """
@@ -17,28 +29,69 @@ from __future__ import annotations
 
 import json
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.devtools.astrules import scan_source
+from repro.devtools import callgraph
+from repro.devtools.astrules import scan_tree
 from repro.devtools.baseline import Baseline, BaselineEntry
-from repro.devtools.findings import Finding
+from repro.devtools.driftrules import scan_config
+from repro.devtools.findings import FAMILIES, RULES, Finding
 from repro.devtools.layering import PURE_LAYERS, check_layering, layer_of
+from repro.devtools.perfrules import scan_perf
 
 _PRAGMA = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9_,\s]+)\]")
 
 
 def _pragmas(source: str) -> Dict[int, frozenset]:
-    """line number -> rule codes waived on that line."""
+    """line number -> rule codes waived on that line.
+
+    A pragma on a comment-only line waives the next code line instead
+    (skipping further comment lines), so a long flagged statement can
+    carry its waiver — and the reason — on the line above without
+    breaking the line-length budget.
+    """
+    lines = source.splitlines()
     out: Dict[int, frozenset] = {}
-    for number, text in enumerate(source.splitlines(), start=1):
+    for number, text in enumerate(lines, start=1):
         match = _PRAGMA.search(text)
-        if match:
-            out[number] = frozenset(
-                code.strip() for code in match.group(1).split(",")
-            )
+        if not match:
+            continue
+        codes = frozenset(
+            code.strip() for code in match.group(1).split(",")
+        )
+        target = number
+        if text.lstrip().startswith("#"):
+            for other in range(number + 1, len(lines) + 1):
+                stripped = lines[other - 1].lstrip()
+                if stripped and not stripped.startswith("#"):
+                    target = other
+                    break
+        out[target] = out.get(target, frozenset()) | codes
     return out
+
+
+@dataclass
+class LintStats:
+    """One run's cost, for the ``--stats`` line."""
+
+    files: int = 0
+    rules: int = 0
+    findings_total: int = 0
+    duration_s: float = 0.0
+    callgraph_cached: bool = False
+    hot_functions: int = 0
+
+    def render(self) -> str:
+        cache = "cached" if self.callgraph_cached else "built"
+        return (
+            f"stats: {self.files} file(s), {self.rules} rule(s), "
+            f"{self.hot_functions} hot function(s) (call graph {cache}), "
+            f"{self.findings_total} raw finding(s), "
+            f"{self.duration_s * 1000.0:.0f} ms"
+        )
 
 
 @dataclass
@@ -55,6 +108,7 @@ class LintReport:
     #: the entry.  These fail CI too, to keep the baseline exact.
     stale: List[BaselineEntry] = field(default_factory=list)
     files_scanned: int = 0
+    stats: LintStats = field(default_factory=LintStats)
 
     @property
     def clean(self) -> bool:
@@ -64,7 +118,7 @@ class LintReport:
     def exit_code(self) -> int:
         return 0 if self.clean else 1
 
-    def render_human(self) -> str:
+    def render_human(self, stats: bool = False) -> str:
         lines: List[str] = []
         for finding in self.findings:
             lines.append(finding.render())
@@ -79,6 +133,8 @@ class LintReport:
             f"{len(self.waived)} waived by pragma; "
             f"{self.files_scanned} file(s) scanned"
         )
+        if stats:
+            lines.append(self.stats.render())
         return "\n".join(lines)
 
     def render_json(self) -> str:
@@ -92,6 +148,13 @@ class LintReport:
                 "waived": len(self.waived),
                 "files_scanned": self.files_scanned,
                 "clean": self.clean,
+            },
+            "stats": {
+                "files": self.stats.files,
+                "rules": self.stats.rules,
+                "hot_functions": self.stats.hot_functions,
+                "callgraph_cached": self.stats.callgraph_cached,
+                "duration_s": round(self.stats.duration_s, 6),
             },
         }
         return json.dumps(payload, indent=2, sort_keys=True)
@@ -117,40 +180,131 @@ def _assign_occurrences(findings: List[Finding]) -> List[Finding]:
     return out
 
 
+def resolve_selection(
+    select: Optional[Iterable[str]] = None,
+    families: Optional[Iterable[str]] = None,
+) -> Set[str]:
+    """The set of rule codes a run covers.
+
+    ``select`` names codes or code prefixes (``PERF``, ``PERF401``);
+    ``families`` names rule families (``det``, ``layering``, ``perf``,
+    ``config``).  Both given: the intersection.  Neither: every rule.
+    Unknown names raise ``ValueError`` so typos fail loudly instead of
+    silently linting nothing.
+    """
+    codes: Set[str] = set(RULES)
+    if families is not None:
+        chosen: Set[str] = set()
+        for family in families:
+            if family not in FAMILIES:
+                raise ValueError(
+                    f"unknown rule family {family!r} "
+                    f"(families: {', '.join(sorted(FAMILIES))})"
+                )
+            chosen.update(
+                code
+                for code in RULES
+                if code.startswith(FAMILIES[family])
+            )
+        codes &= chosen
+    if select is not None:
+        chosen = set()
+        for pattern in select:
+            matched = {code for code in RULES if code.startswith(pattern)}
+            if not matched:
+                raise ValueError(
+                    f"--select {pattern!r} matches no known rule"
+                )
+            chosen.update(matched)
+        codes &= chosen
+    return codes
+
+
+def _default_docs_text(package_root: Path) -> Optional[str]:
+    """docs/API.md relative to the conventional src/<pkg> layout."""
+    docs = package_root.parent.parent / "docs" / "API.md"
+    if docs.is_file():
+        return docs.read_text()
+    return None
+
+
 def lint_package(
     package_root: Path,
     baseline: Optional[Baseline] = None,
     package: str = "repro",
+    select: Optional[Iterable[str]] = None,
+    families: Optional[Iterable[str]] = None,
+    docs_text: Optional[str] = None,
 ) -> LintReport:
     """Lint every ``*.py`` under ``package_root`` (a package directory).
 
     Finding paths are posix-relative to ``package_root``; layer purity
     and the layering DAG are derived from the first path segment.
+    ``docs_text`` overrides the content of ``docs/API.md`` for the
+    CFG6xx pass (default: read from ``<root>/../../docs/API.md`` when
+    present, else the docs-side checks are skipped).
     """
+    started = time.perf_counter()
     package_root = Path(package_root)
+    codes = resolve_selection(select, families)
     report = LintReport()
+
+    modules, graph = callgraph.cached_project(package_root, package)
+    report.files_scanned = len(modules)
+
     raw: List[Finding] = []
-    for path in sorted(package_root.rglob("*.py")):
-        relative = path.relative_to(package_root)
-        layer = layer_of(relative)
-        source = path.read_text()
-        report.files_scanned += 1
-        file_findings = scan_source(
-            source, relative.as_posix(), pure=layer in PURE_LAYERS
-        )
-        waivers = _pragmas(source)
-        for finding in file_findings:
-            codes = waivers.get(finding.line)
-            if codes is not None and (
-                finding.code in codes or "ALL" in codes
-            ):
-                report.waived.append(finding)
-            else:
-                raw.append(finding)
-    raw.extend(check_layering(package_root, package))
-    numbered = _assign_occurrences(raw)
-    new, suppressed, stale = (baseline or Baseline()).partition(numbered)
+    if any(code.startswith(("DET", "PUR")) for code in codes):
+        for info in modules:
+            raw.extend(
+                scan_tree(
+                    info.tree,
+                    info.path,
+                    pure=layer_of(Path(info.path)) in PURE_LAYERS,
+                )
+            )
+    if any(code.startswith("PERF") for code in codes):
+        raw.extend(scan_perf(modules, graph))
+    if any(code.startswith("CFG") for code in codes):
+        if docs_text is None:
+            docs_text = _default_docs_text(package_root)
+        raw.extend(scan_config(modules, docs_text))
+    if any(code.startswith("LAY") for code in codes):
+        raw.extend(check_layering(package_root, package, modules=modules))
+
+    raw = [finding for finding in raw if finding.code in codes]
+
+    # Inline pragma waivers, against the shared per-module sources.
+    pragmas_by_path = {
+        info.path: _pragmas(info.source) for info in modules
+    }
+    kept: List[Finding] = []
+    for finding in raw:
+        waivers = pragmas_by_path.get(finding.path, {})
+        waived_codes = waivers.get(finding.line)
+        if waived_codes is not None and (
+            finding.code in waived_codes or "ALL" in waived_codes
+        ):
+            report.waived.append(finding)
+        else:
+            kept.append(finding)
+
+    numbered = _assign_occurrences(kept)
+    # Narrow the baseline to the selected codes: a PERF-only run must
+    # not report DET/PUR baseline entries as stale.
+    full = baseline or Baseline()
+    narrowed = Baseline(
+        entries=[entry for entry in full.entries if entry.code in codes]
+    )
+    new, suppressed, stale = narrowed.partition(numbered)
     report.findings = new
     report.suppressed = suppressed
     report.stale = stale
+    report.stats = LintStats(
+        files=len(modules),
+        rules=len(codes),
+        findings_total=len(raw),
+        duration_s=time.perf_counter() - started,
+        callgraph_cached=callgraph.LAST_CACHE_HIT,
+        hot_functions=len(graph.hot),
+    )
     return report

@@ -57,6 +57,11 @@ TRANSPORT_KINDS = frozenset(
     {FaultKind.STALL, FaultKind.CONNECTION_DROP, FaultKind.SLOW_START_RESET}
 )
 
+#: Kinds decided by the origin server.  ``server_fault`` runs once per
+#: request attempt on the lookup hot path, so the membership set is a
+#: module constant rather than a fresh per-call set display.
+SERVER_KINDS = frozenset({FaultKind.SERVER_ERROR})
+
 
 def _unit_roll(seed: int, lane: object, url: str, attempt: int) -> float:
     """A deterministic uniform in [0, 1) from the fault coordinates."""
@@ -141,7 +146,7 @@ class FaultPlan:
     ) -> Optional[FaultKind]:
         """Server-side fault (if any) for this request attempt."""
         return self._decide(
-            {FaultKind.SERVER_ERROR}, url, domain,
+            SERVER_KINDS, url, domain,
             now=now, attempt=attempt, is_hint=is_hint,
         )
 

@@ -160,6 +160,7 @@ class Simulator:
         self._cancelled = 0
         self.compactions += 1
 
+    # repro: hotpath
     def run(
         self,
         until: Optional[float] = None,
@@ -179,6 +180,8 @@ class Simulator:
         try:
             # Callbacks may cancel events and trigger a compaction that
             # replaces ``self._queue``, so re-read the attribute each loop.
+            # repro: allow[PERF403] hoisting would pin the pre-compaction
+            # queue object and silently drop events.
             while self._queue:
                 event = heappop(self._queue)
                 if event.cancelled:
@@ -427,6 +430,7 @@ class ArraySimulator:
         self._cancelled = 0
         self.compactions += 1
 
+    # repro: hotpath
     def run(
         self,
         until: Optional[float] = None,

@@ -47,7 +47,7 @@ from repro.replay.cache import SnapshotCache, materialize_cached
 from repro.replay.replayer import build_servers
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BridgeSample:
     """One lookup captured for end-to-end evaluation."""
 

@@ -356,10 +356,11 @@ class FrontendCache:
         return entry
 
     def put(self, key: Key, entry: StoreEntry, now_hours: float) -> None:
-        self._entries.pop(key, None)
-        self._entries[key] = (entry, now_hours)
-        while len(self._entries) > self.capacity:
-            del self._entries[next(iter(self._entries))]
+        entries = self._entries  # hoisted for the eviction loop
+        entries.pop(key, None)
+        entries[key] = (entry, now_hours)
+        while len(entries) > self.capacity:
+            del entries[next(iter(entries))]
             self.evictions += 1
 
     def drop(self, key: Key) -> None:
@@ -382,9 +383,13 @@ class FrontendCache:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class FleetLookup:
-    """Outcome of one front-door lookup against the fleet."""
+    """Outcome of one front-door lookup against the fleet.
+
+    Built once per lookup on the service hot path — slotted so the
+    per-lookup garbage is a bare fixed-size object, not object + dict.
+    """
 
     entry: Optional[StoreEntry]
     status: LookupStatus
@@ -449,6 +454,38 @@ class FleetStore:
         self._health_window: Optional[Tuple[int, int, int]] = None
         #: key -> routing URL, so migration can re-place resident entries.
         self._routes: Dict[Key, str] = {}
+        #: page_url -> preference list, memoised per placement version.
+        #: ``shards_for`` costs a sha1 + ring walk + set/list build per
+        #: call; the ring only changes when a reshard bumps
+        #: ``placement.version``, so the route is computed once per
+        #: (page, topology) instead of once per lookup.  The hit/miss
+        #: tallies are diagnostics only — deliberately not part of
+        #: ``FleetCounters.as_dict`` (the smoke goldens pin that dict).
+        self._route_cache: Dict[str, List[int]] = {}
+        self._route_version = self.placement.version
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
+
+    def _owners_for(self, page_url: str) -> List[int]:
+        """Preference list for a page URL, cached per placement version.
+
+        Correct because ``shards_for`` depends only on ring topology
+        (never on shard health): every topology change goes through
+        ``PlacementMap`` and bumps ``version``.  Callers must treat the
+        returned list as read-only.
+        """
+        placement = self.placement
+        if placement.version != self._route_version:
+            self._route_cache.clear()
+            self._route_version = placement.version
+        owners = self._route_cache.get(page_url)
+        if owners is None:
+            owners = placement.shards_for(page_url)
+            self._route_cache[page_url] = owners
+            self.route_cache_misses += 1
+        else:
+            self.route_cache_hits += 1
+        return owners
 
     # -- health (repro.net.faults composition) ---------------------------
 
@@ -510,16 +547,20 @@ class FleetStore:
                     index in allowed,
                     "placement-residency",
                     f"key {key!r} resident on shard {index}, "
+                    # repro: allow[PERF401] audit-only message, gated by
+                    # audit.ENABLED; never runs in benchmark mode.
                     f"owners {sorted(allowed)} "
                     f"(placement v{self.placement.version})",
                 )
 
+    # repro: hotpath
     def lookup(
         self, page_url: str, page: str, device_class: str, now_hours: float
     ) -> FleetLookup:
         key = (page, device_class)
         config = self.config
-        self.counters.lookups += 1
+        counters = self.counters  # hoisted: ~10 loads per lookup otherwise
+        counters.lookups += 1
 
         if self.frontend is not None:
             entry = self.frontend.get(key, now_hours)
@@ -528,23 +569,23 @@ class FleetStore:
                 if age <= config.ttl_hours:
                     if age > config.freshness_hours:
                         status = LookupStatus.STALE_HIT
-                        self.counters.stale_hits += 1
+                        counters.stale_hits += 1
                     else:
                         status = LookupStatus.HIT
-                        self.counters.hits += 1
-                    self.counters.frontend_hits += 1
+                        counters.hits += 1
+                    counters.frontend_hits += 1
                     return FleetLookup(
                         entry, status, None, probes=0, frontend=True
                     )
                 self.frontend.drop(key)  # past store TTL: unusable
 
-        owners = self.placement.shards_for(page_url)
+        owners = self._owners_for(page_url)
         if audit.ENABLED:
             self._audit_residency(key, owners)
         acting = [index for index in owners if index not in self.down]
         if not acting:
-            self.counters.unavailable += 1
-            self.counters.misses += 1
+            counters.unavailable += 1
+            counters.misses += 1
             return FleetLookup(
                 None, LookupStatus.MISS, None, probes=0, unavailable=True
             )
@@ -561,29 +602,29 @@ class FleetStore:
             if position == 0:
                 first_status = status
             else:
-                self.counters.replica_probes += 1
+                counters.replica_probes += 1
             if entry is None:
                 continue
             if index != owners[0]:
-                self.counters.failovers += 1
+                counters.failovers += 1
             if position > 0:
                 # Read repair: heal the earlier (live but empty) copies.
                 for earlier in acting[:position]:
                     if self.shards[earlier].insert(replace(entry)):
-                        self.counters.read_repairs += 1
+                        counters.read_repairs += 1
             if status is LookupStatus.STALE_HIT:
-                self.counters.stale_hits += 1
+                counters.stale_hits += 1
             else:
-                self.counters.hits += 1
+                counters.hits += 1
             if self.frontend is not None:
                 self.frontend.put(key, entry, now_hours)
             return FleetLookup(entry, status, shard, probes=position + 1)
 
         if first_status is LookupStatus.EXPIRED:
-            self.counters.expired += 1
+            counters.expired += 1
             status = LookupStatus.EXPIRED
         else:
-            self.counters.misses += 1
+            counters.misses += 1
             status = LookupStatus.MISS
         return FleetLookup(
             None, status, self.shards[acting[0]], probes=len(acting)
@@ -592,7 +633,7 @@ class FleetStore:
     def peek(self, page_url: str, key: Key) -> Optional[StoreEntry]:
         """The freshest live copy of ``key``, without touching counters."""
         best: Optional[StoreEntry] = None
-        for index in self.placement.shards_for(page_url):
+        for index in self._owners_for(page_url):
             if index in self.down:
                 continue
             entry = self.shards[index].get(key)
@@ -611,7 +652,7 @@ class FleetStore:
         self._routes[key] = page_url
         if self.frontend is not None:
             self.frontend.invalidate(key)
-        owners = self.placement.shards_for(page_url)
+        owners = self._owners_for(page_url)
         stored = False
         primary_seen = False
         for index in owners:

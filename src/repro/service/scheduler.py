@@ -36,9 +36,13 @@ Key = Tuple[str, str]  # (page name, device class)
 COLD_STALENESS_HOURS = 1e6
 
 
-@dataclass
+@dataclass(slots=True)
 class ResolutionJob:
-    """One pending stable-set recomputation."""
+    """One pending stable-set recomputation.
+
+    Allocated per cold/stale lookup on the service hot path — slotted
+    to keep that churn dict-free.
+    """
 
     page: str
     device_class: str
@@ -123,6 +127,7 @@ class BatchScheduler:
     def pending_count(self) -> int:
         return len(self._pending)
 
+    # repro: hotpath
     def enqueue(self, job: ResolutionJob) -> bool:
         """Add a job; a duplicate key coalesces (and bumps demand).
 

@@ -193,6 +193,7 @@ class Shard:
     def get(self, key: Tuple[str, str]) -> Optional[StoreEntry]:
         return self._entries.get(key)
 
+    # repro: hotpath
     def lookup(
         self,
         key: Tuple[str, str],
@@ -337,6 +338,7 @@ class DependencyStore:
     def shard_for_page(self, page_url: str) -> Shard:
         return self.shards[self.ring.shard_for(page_url)]
 
+    # repro: hotpath
     def lookup(
         self, page_url: str, page: str, device_class: str, now_hours: float
     ) -> Tuple[Optional[StoreEntry], LookupStatus, Shard]:

@@ -1,0 +1,1 @@
+"""Fixture package for the PERF4xx hot-path rules (test_perf_rules.py)."""

@@ -1,0 +1,45 @@
+"""Callee module: heated transitively from ``engine.tick``.
+
+Never imported at test time — parsed and scanned as text, like the
+other rule fixtures.
+"""
+
+import random
+
+
+class Kind:
+    ALPHA = 1
+    BETA = 2
+
+
+class Gadget:
+    """No ``__slots__``: instantiating this in a hot region is PERF405."""
+
+    def __init__(self, value):
+        self.value = value
+
+
+class Slotted:
+    """Slotted twin of :class:`Gadget` — must never be flagged."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class HelperError(RuntimeError):
+    """Raised from hot code; exceptions stay cold by definition."""
+
+
+def make_rng(seed):
+    """Hot via the ``tick -> make_rng`` edge."""
+    return random.Random(seed)  # expect: PERF402
+
+
+def cold_helper(jobs):
+    """Unreachable from any seed: the same pattern must stay silent."""
+    out = []
+    for job in jobs:
+        out.extend([job for job in jobs])
+    return out

@@ -1,0 +1,190 @@
+"""Unit tests for the interprocedural call graph (repro.devtools.callgraph)."""
+
+from pathlib import Path
+
+from repro.devtools import callgraph
+from repro.devtools.callgraph import (
+    build_call_graph,
+    cached_project,
+    parse_package,
+)
+
+
+def _graph(tmp_path: Path, files: dict, package: str = "pkg"):
+    root = tmp_path / package
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    for name, source in files.items():
+        path = root / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return build_call_graph(parse_package(root, package), package)
+
+
+def test_pragma_seeds_on_line_above_and_on_def_line(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": (
+        "# repro: hotpath\n"
+        "def above():\n"
+        "    pass\n"
+        "def online():  # repro: hotpath\n"
+        "    pass\n"
+        "def unmarked():\n"
+        "    pass\n"
+    )})
+    assert graph.hot["pkg.mod:above"] == "seeded by # repro: hotpath"
+    assert graph.is_hot("pkg.mod:online")
+    assert not graph.is_hot("pkg.mod:unmarked")
+
+
+def test_cycles_terminate_and_stay_hot(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": (
+        "# repro: hotpath\n"
+        "def ping():\n"
+        "    pong()\n"
+        "def pong():\n"
+        "    ping()\n"
+    )})
+    assert graph.is_hot("pkg.mod:ping")
+    assert graph.hot["pkg.mod:pong"] == "called from ping"
+
+
+def test_hotness_crosses_module_boundaries(tmp_path):
+    graph = _graph(tmp_path, {
+        "a.py": (
+            "from pkg.b import worker\n"
+            "# repro: hotpath\n"
+            "def entry():\n"
+            "    worker()\n"
+        ),
+        "b.py": (
+            "def worker():\n"
+            "    helper()\n"
+            "def helper():\n"
+            "    pass\n"
+        ),
+    })
+    assert graph.hot["pkg.b:worker"] == "called from entry"
+    assert graph.hot["pkg.b:helper"] == "called from worker"
+
+
+def test_self_method_and_constructor_edges(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": (
+        "class Widget:\n"
+        "    def __init__(self):\n"
+        "        self.size = 0\n"
+        "# repro: hotpath\n"
+        "class Engine:\n"
+        "    pass\n"
+        "class Runner:\n"
+        "    # repro: hotpath\n"
+        "    def step(self):\n"
+        "        self.helper()\n"
+        "    def helper(self):\n"
+        "        return Widget()\n"
+    )})
+    assert graph.hot["pkg.mod:Runner.helper"] == "called from Runner.step"
+    assert graph.is_hot("pkg.mod:Widget.__init__")
+
+
+def test_dynamic_dispatch_falls_back_to_every_method_of_that_name(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": (
+        "class Alpha:\n"
+        "    def process(self):\n"
+        "        pass\n"
+        "    def get(self, key):\n"
+        "        pass\n"
+        "class Beta:\n"
+        "    def process(self):\n"
+        "        pass\n"
+        "# repro: hotpath\n"
+        "def run_all(handler, mapping):\n"
+        "    handler.process()\n"
+        "    mapping.get('key')\n"
+    )})
+    # Unknown receiver: both ``process`` methods heat up...
+    assert graph.is_hot("pkg.mod:Alpha.process")
+    assert graph.is_hot("pkg.mod:Beta.process")
+    # ...but ubiquitous container-method names never dispatch.
+    assert not graph.is_hot("pkg.mod:Alpha.get")
+
+
+def test_dunder_methods_never_dispatch(tmp_path):
+    """``super().__init__`` must not heat every constructor around."""
+    graph = _graph(tmp_path, {"mod.py": (
+        "class Unrelated:\n"
+        "    def __init__(self):\n"
+        "        self.size = 0\n"
+        "class Base:\n"
+        "    def __init__(self):\n"
+        "        self.kind = 'base'\n"
+        "class Child(Base):\n"
+        "    # repro: hotpath\n"
+        "    def __init__(self):\n"
+        "        super().__init__()\n"
+    )})
+    assert not graph.is_hot("pkg.mod:Unrelated.__init__")
+
+
+def test_exception_constructors_stay_cold(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": (
+        "class BoomError(RuntimeError):\n"
+        "    def __init__(self, detail):\n"
+        "        super().__init__(detail)\n"
+        "        self.detail = detail\n"
+        "# repro: hotpath\n"
+        "def hot():\n"
+        "    raise BoomError('x')\n"
+    )})
+    assert not graph.is_hot("pkg.mod:BoomError.__init__")
+    assert graph.classes["pkg.mod:BoomError"].is_exception
+
+
+def test_hot_functions_returns_only_scannable_bodies(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": (
+        "class Bare:\n"
+        "    pass\n"
+        "# repro: hotpath\n"
+        "def hot():\n"
+        "    return Bare()\n"
+    )})
+    # ``Bare()`` heats the bare class qualname (no explicit __init__);
+    # hot_functions() must still return only real function bodies.
+    assert graph.is_hot("pkg.mod:Bare")
+    names = {fn.qualname for fn in graph.hot_functions()}
+    assert names == {"pkg.mod:hot"}
+
+
+def test_slots_detection_via_assign_and_dataclass_kw(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": (
+        "from dataclasses import dataclass\n"
+        "class Plain:\n"
+        "    pass\n"
+        "class Slotted:\n"
+        "    __slots__ = ('a',)\n"
+        "@dataclass(slots=True)\n"
+        "class Record:\n"
+        "    a: int = 0\n"
+        "@dataclass\n"
+        "class Loose:\n"
+        "    a: int = 0\n"
+    )})
+    assert not graph.classes["pkg.mod:Plain"].has_slots
+    assert graph.classes["pkg.mod:Slotted"].has_slots
+    assert graph.classes["pkg.mod:Record"].has_slots
+    assert not graph.classes["pkg.mod:Loose"].has_slots
+
+
+def test_cached_project_hits_until_the_tree_changes(tmp_path):
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    (root / "mod.py").write_text("def f():\n    pass\n")
+    cached_project(root, "pkg")
+    assert callgraph.LAST_CACHE_HIT is False
+    cached_project(root, "pkg")
+    assert callgraph.LAST_CACHE_HIT is True
+    (root / "mod.py").write_text("def f():\n    return 1\n")
+    modules, graph = cached_project(root, "pkg")
+    assert callgraph.LAST_CACHE_HIT is False
+    assert "pkg.mod:f" in graph.functions
+    assert len(modules) == 2

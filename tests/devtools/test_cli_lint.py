@@ -151,3 +151,93 @@ def test_update_baseline_rejects_todo_reason(tmp_path, capsys):
     assert code == 2
     assert "--reason" in capsys.readouterr().err
     assert not baseline_path.exists()
+
+
+def test_select_narrows_the_run(tmp_path, capsys):
+    root, baseline_path = _write_finding_package(tmp_path)
+    # The package's only violation is DET103; selecting another code
+    # must leave the run clean (and not report unrelated stale entries).
+    assert main([
+        "lint", "--root", str(root),
+        "--baseline", str(baseline_path), "--select", "PERF401",
+    ]) == 0
+    capsys.readouterr()
+    code = main([
+        "lint", "--root", str(root),
+        "--baseline", str(baseline_path), "--select", "DET103",
+    ])
+    assert code == 1
+    assert "DET103" in capsys.readouterr().out
+
+
+def test_only_family_narrows_the_run(tmp_path, capsys):
+    root, baseline_path = _write_finding_package(tmp_path)
+    assert main([
+        "lint", "--root", str(root),
+        "--baseline", str(baseline_path), "--only-family", "perf",
+    ]) == 0
+    capsys.readouterr()
+    code = main([
+        "lint", "--root", str(root),
+        "--baseline", str(baseline_path), "--only-family", "det",
+    ])
+    assert code == 1
+    assert "DET103" in capsys.readouterr().out
+
+
+def test_unknown_selection_is_a_usage_error(tmp_path, capsys):
+    root, baseline_path = _write_finding_package(tmp_path)
+    assert main([
+        "lint", "--root", str(root),
+        "--baseline", str(baseline_path), "--select", "NOPE999",
+    ]) == 2
+    assert "NOPE999" in capsys.readouterr().err
+    assert main([
+        "lint", "--root", str(root),
+        "--baseline", str(baseline_path), "--only-family", "nonsense",
+    ]) == 2
+    assert "nonsense" in capsys.readouterr().err
+
+
+def test_stats_line_reports_cost_and_cache(tmp_path, capsys):
+    root, baseline_path = _write_finding_package(tmp_path)
+    main([
+        "lint", "--root", str(root),
+        "--baseline", str(baseline_path), "--stats",
+    ])
+    first = capsys.readouterr().out
+    assert "stats:" in first
+    assert "hot function(s)" in first
+    main([
+        "lint", "--root", str(root),
+        "--baseline", str(baseline_path), "--stats",
+    ])
+    # Identical tree: the second run must reuse the cached call graph.
+    assert "call graph cached" in capsys.readouterr().out
+
+
+def test_check_baseline_accepts_reasoned_entries(capsys):
+    code = main(["lint", "--baseline", str(BASELINE_PATH),
+                 "--check-baseline"])
+    assert code == 0
+    assert "0 without a reason" in capsys.readouterr().out
+
+
+def test_check_baseline_rejects_reasonless_entries(tmp_path, capsys):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({
+        "entries": [
+            {"path": "core/mod.py", "code": "DET103",
+             "message": "x", "occurrence": 1, "reason": ""},
+            {"path": "core/mod.py", "code": "DET104",
+             "message": "y", "occurrence": 1, "reason": "TODO later"},
+            {"path": "core/mod.py", "code": "DET105",
+             "message": "z", "occurrence": 1, "reason": "real reason"},
+        ]
+    }))
+    code = main(["lint", "--baseline", str(bad), "--check-baseline"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "2 without a reason" in captured.out
+    assert "DET103" in captured.err and "DET104" in captured.err
+    assert "DET105" not in captured.err

@@ -1,0 +1,88 @@
+"""PERF4xx rules over the ``fixtures/perfpkg`` call-graph fixture.
+
+Mirrors test_lint_rules.py's marker contract: every ``# expect: CODE``
+line must be flagged with exactly that code, nothing else may fire —
+including the deliberately cold functions that repeat the same
+patterns outside the hot region.
+"""
+
+import re
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.devtools.callgraph import build_call_graph, parse_package
+from repro.devtools.findings import RULES
+from repro.devtools.perfrules import scan_perf
+
+PERFPKG = Path(__file__).parent / "fixtures" / "perfpkg"
+_EXPECT = re.compile(r"#\s*expect:\s*([A-Z]+\d+)")
+
+
+def _scan() -> Tuple[Dict[Tuple[str, int], str], Dict[Tuple[str, int], set]]:
+    """(path, line) -> expected code / flagged codes, package-wide."""
+    modules = parse_package(PERFPKG, package="perfpkg")
+    graph = build_call_graph(modules, package="perfpkg")
+    expected: Dict[Tuple[str, int], str] = {}
+    for info in modules:
+        for number, text in enumerate(info.source.splitlines(), start=1):
+            match = _EXPECT.search(text)
+            if match:
+                expected[(info.path, number)] = match.group(1)
+    flagged: Dict[Tuple[str, int], set] = {}
+    for finding in scan_perf(modules, graph):
+        flagged.setdefault((finding.path, finding.line), set()).add(
+            finding.code
+        )
+    return expected, flagged
+
+
+def test_every_marked_line_is_flagged():
+    expected, flagged = _scan()
+    missed = {
+        site: code
+        for site, code in expected.items()
+        if code not in flagged.get(site, set())
+    }
+    assert not missed, f"rules failed to fire: {missed}"
+
+
+def test_no_unmarked_line_is_flagged():
+    expected, flagged = _scan()
+    spurious = {
+        site: codes
+        for site, codes in flagged.items()
+        if site not in expected or codes != {expected[site]}
+    }
+    assert not spurious, f"unexpected findings: {spurious}"
+
+
+def test_fixture_covers_every_perf_rule():
+    expected, _ = _scan()
+    perf_rules = {code for code in RULES if code.startswith("PERF")}
+    assert set(expected.values()) == perf_rules
+
+
+def test_cold_functions_stay_silent():
+    """The allocation patterns only matter inside the hot region."""
+    modules = parse_package(PERFPKG, package="perfpkg")
+    graph = build_call_graph(modules, package="perfpkg")
+    assert not graph.is_hot("perfpkg.engine:cold_path")
+    assert not graph.is_hot("perfpkg.helper:cold_helper")
+    cold_lines = set()
+    for info in modules:
+        for number, text in enumerate(info.source.splitlines(), start=1):
+            if "cold" in text:
+                cold_lines.add((info.path, number))
+    flagged_sites = {
+        (finding.path, finding.line)
+        for finding in scan_perf(modules, graph)
+    }
+    assert not flagged_sites & cold_lines
+
+
+def test_findings_carry_the_hot_chain():
+    modules = parse_package(PERFPKG, package="perfpkg")
+    graph = build_call_graph(modules, package="perfpkg")
+    messages = [finding.message for finding in scan_perf(modules, graph)]
+    assert any("seeded by # repro: hotpath" in message for message in messages)
+    assert any("called from tick" in message for message in messages)
