@@ -16,6 +16,10 @@ Commands
 ``service``   simulate the multi-tenant hint-serving backend (sharded
               store + offline-resolution scheduler) and write
               ``BENCH_service.json``
+``longrun``   continuous-operation harness: stream a declarative
+              :class:`~repro.scenario.spec.ScenarioSpec` through the
+              service for simulated days with checkpoint/resume and
+              paired A/B lanes; writes ``BENCH_longrun.json``
 ``bench``     engine micro-benchmarks; ``bench engine`` compares the
               fast-forward DES hot path against event-per-tick and
               writes ``BENCH_engine.json``
@@ -530,6 +534,132 @@ def cmd_service(args) -> int:
     return 0
 
 
+def _print_longrun(payload) -> None:
+    """Human summary of a longrun benchmark payload."""
+    report = payload["report"]
+    totals = report["totals"]
+    resume = payload["resume"]
+    ab = payload["ab"]
+    perf = payload["perf"]
+    print(
+        f"longrun: {totals['lookups']} lookups over "
+        f"{report['horizon_hours']:.1f} simulated hours "
+        f"({len(report['rollups'])} rollup windows)"
+    )
+    print(
+        f"hit rate {totals['hit_rate']:.2%} "
+        f"(stale {totals['stale_hit_rate']:.2%}); "
+        f"{totals['unavailable']} unavailable; "
+        f"{totals['shard_wipes']} shard wipe(s), "
+        f"{totals['failovers']} failover(s)"
+    )
+    digest = report["digest"]
+    if digest["bits_per_entry"]:
+        print(
+            f"digest filter ({digest['bits_per_entry']} bits/entry): "
+            f"{digest['filtered_lookups']} repeat visits, "
+            f"{digest['filtered_urls']} hint URL(s) suppressed"
+        )
+    print(
+        f"checkpoint/resume at {resume['checkpoint_at_hours']:.2f} h: "
+        f"fingerprints match {resume['match']} "
+        f"({resume['checkpoint_bytes']} bytes)"
+    )
+    served_delta = ab["summary"]["served_rate_delta"]
+    print(
+        f"A/B {ab['lane_a']['label']} vs {ab['lane_b']['label']} "
+        f"{ab['lane_b']['overrides']}: served-rate delta "
+        f"mean {served_delta['mean']:+.4f} "
+        f"(min {served_delta['min']:+.4f}) over "
+        f"{len(ab['windows'])} paired windows"
+    )
+    print(
+        f"peak RSS {perf['peak_rss_kb'] / 1024:.0f} MB, "
+        f"{perf['lookups_per_s']:.0f} lookups/s"
+    )
+
+
+def cmd_longrun(args) -> int:
+    """Continuous operation: ScenarioSpec through the streaming runner."""
+    import json
+    from dataclasses import replace
+
+    from repro.experiments.longrun_bench import (
+        DEFAULT_SPEC,
+        longrun_benchmark,
+        smoke_check,
+        smoke_run,
+    )
+
+    _maybe_enable_audit(args)
+
+    def write_report(payload) -> None:
+        if not args.report:
+            return
+        with open(args.report, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"longrun report written to {args.report}")
+
+    if args.smoke:
+        payload = smoke_run()
+        _print_longrun(payload)
+        write_report(payload)
+        problems = smoke_check(payload)
+        for problem in problems:
+            print(f"smoke mismatch — {problem}", file=sys.stderr)
+        return 1 if problems else 0
+
+    if args.hours <= 0:
+        print(
+            f"error: --hours must be > 0 (got {args.hours})",
+            file=sys.stderr,
+        )
+        return 2
+    overrides = {"horizon_hours": args.hours, "corpus": args.corpus}
+    for dest, field in (
+        ("pages", "pages"),
+        ("rate", "rate_per_hour"),
+        ("shards", "shards"),
+        ("replication", "replication"),
+        ("digest_bits", "digest_filter_bits"),
+        ("cycle_every", "shard_cycle_every_hours"),
+        ("cycle_down", "shard_cycle_down_hours"),
+        ("rollup", "rollup_hours"),
+    ):
+        value = getattr(args, dest)
+        if value is not None:
+            overrides[field] = value
+    try:
+        spec = replace(DEFAULT_SPEC, **overrides)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.checkpoint_at is not None and not (
+        0 < args.checkpoint_at < spec.horizon_hours
+    ):
+        print(
+            f"error: --checkpoint-at must fall inside the horizon "
+            f"(0, {spec.horizon_hours}) (got {args.checkpoint_at})",
+            file=sys.stderr,
+        )
+        return 2
+    payload = longrun_benchmark(
+        spec, checkpoint_at_hours=args.checkpoint_at
+    )
+    _print_longrun(payload)
+    write_report(payload)
+    if not payload["resume"]["match"]:
+        print(
+            "error: resumed run diverged from the straight run "
+            f"({payload['resume']['resumed_fingerprint']} != "
+            f"{payload['resume']['straight_fingerprint']})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Engine micro-benchmark: the three executor modes, head to head."""
     import json
@@ -895,6 +1025,83 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_audit_arg(service)
     service.set_defaults(func=cmd_service)
+
+    longrun = commands.add_parser(
+        "longrun",
+        help="continuous-operation harness: days-long streaming run "
+        "with checkpoint/resume and paired A/B lanes",
+    )
+    longrun.add_argument(
+        "--hours",
+        type=float,
+        default=48.0,
+        help="simulated horizon (hours)",
+    )
+    longrun.add_argument(
+        "--corpus",
+        default="news",
+        help="scenario corpus (news, alexa100, alexa400, accuracy, "
+        "shopping)",
+    )
+    longrun.add_argument(
+        "--pages", type=int, default=None, help="page fleet size"
+    )
+    longrun.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="mean arrival rate (lookups per simulated hour)",
+    )
+    longrun.add_argument("--shards", type=int, default=None)
+    longrun.add_argument(
+        "--replication",
+        type=int,
+        default=None,
+        help="replicas per entry in the base lane",
+    )
+    longrun.add_argument(
+        "--digest-bits",
+        type=int,
+        default=None,
+        help="cache-digest bits per entry for repeat-visit hint "
+        "filtering (0 = off)",
+    )
+    longrun.add_argument(
+        "--cycle-every",
+        type=float,
+        default=None,
+        help="shard fail/heal cycle period (hours, 0 = no faults)",
+    )
+    longrun.add_argument(
+        "--cycle-down",
+        type=float,
+        default=None,
+        help="outage length per cycle (hours)",
+    )
+    longrun.add_argument(
+        "--rollup",
+        type=float,
+        default=None,
+        help="rollup window length (simulated hours)",
+    )
+    longrun.add_argument(
+        "--checkpoint-at",
+        type=float,
+        default=None,
+        help="checkpoint/resume split point (hours; default mid-run)",
+    )
+    longrun.add_argument(
+        "--report",
+        default="BENCH_longrun.json",
+        help="write the machine-readable benchmark (JSON) here",
+    )
+    longrun.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the pinned smoke scenario and assert its counters",
+    )
+    _add_audit_arg(longrun)
+    longrun.set_defaults(func=cmd_longrun)
 
     bench = commands.add_parser(
         "bench",

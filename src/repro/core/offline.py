@@ -110,6 +110,24 @@ class OfflineResolver:
         key = (round(stable.as_of_hours, 6), stable.device_class)
         self._cache[key] = stable
 
+    def trim_cache(self, keep: int = 0) -> int:
+        """Drop memoised stable sets, keeping the ``keep`` most recent.
+
+        The memo table is keyed by (rounded hour, device class); a
+        long-horizon run resolves at ever-new hours, so without
+        trimming the table grows linearly in simulated time for zero
+        hit-rate benefit.  Returns the number of entries dropped.
+        """
+        if keep <= 0:
+            dropped = len(self._cache)
+            self._cache.clear()
+            return dropped
+        keys = sorted(self._cache)
+        drop = keys[:-keep] if keep < len(keys) else []
+        for key in drop:
+            del self._cache[key]
+        return len(drop)
+
     def stable_set(
         self, as_of_hours: float, device_class: str = "phone"
     ) -> StableSet:

@@ -49,6 +49,7 @@ DEFAULT_CONTRACTS: Tuple[str, ...] = (
     "repro.net.http.NetworkConfig",
     "repro.net.faults.FaultPlan",
     "repro.net.faults.ResiliencePolicy",
+    "repro.scenario.spec.ScenarioSpec",
     "repro.service.backend.ServiceConfig",
     "repro.service.store.StoreConfig",
     "repro.service.workload.WorkloadConfig",

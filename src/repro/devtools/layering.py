@@ -18,6 +18,10 @@ may import from B".  The transitive closure is spelled out explicitly in
       ^
     service                   (simulated hint-serving backend)
       ^
+    scenario                  (declarative run descriptions)
+      ^
+    longrun                   (continuous-operation streaming runner)
+      ^
     experiments               (figure regeneration, sweeps)
       ^
     cli                       (argparse front end)
@@ -54,7 +58,9 @@ _CORE = _MODELS | {"core"}
 _SIM = _CORE | {"baselines"}
 _ANALYSIS = _SIM | {"analysis"}
 _SERVICE = _ANALYSIS | {"service"}
-_EXPERIMENTS = _SERVICE | {"experiments"}
+_SCENARIO = _SERVICE | {"scenario"}
+_LONGRUN = _SCENARIO | {"longrun"}
+_EXPERIMENTS = _LONGRUN | {"experiments"}
 _ALL = _EXPERIMENTS | {"cli", "devtools"}
 
 #: layer name -> layers it may import from (its own is always allowed).
@@ -69,7 +75,9 @@ LAYER_DEPS: Dict[str, FrozenSet[str]] = {
     "baselines": frozenset(_CORE),
     "analysis": frozenset(_SIM),
     "service": frozenset(_ANALYSIS),
-    "experiments": frozenset(_SERVICE),
+    "scenario": frozenset(_SERVICE),
+    "longrun": frozenset(_SCENARIO),
+    "experiments": frozenset(_LONGRUN),
     "cli": frozenset(_EXPERIMENTS | {"devtools"}),
     "devtools": frozenset(),
     "root": frozenset(_ALL),

@@ -1,0 +1,31 @@
+"""Continuous-operation harness: long horizons, constant memory.
+
+:class:`~repro.longrun.runner.LongRunner` streams a scenario's
+Zipf×Poisson workload through the hint service over simulated days with
+per-window rollup aggregation, a picklable checkpoint/resume cycle that
+is bit-identical to running straight through, and paired A/B lanes
+(:func:`~repro.longrun.ab.run_paired`) over the identical stream.
+"""
+
+from repro.longrun.ab import STREAM_FIELDS, run_paired
+from repro.longrun.runner import (
+    CHECKPOINT_VERSION,
+    LongRunner,
+    RollupAggregator,
+    RunningStats,
+    checkpoint_roundtrip,
+    report_fingerprint,
+    run_scenario,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "LongRunner",
+    "RollupAggregator",
+    "RunningStats",
+    "STREAM_FIELDS",
+    "checkpoint_roundtrip",
+    "report_fingerprint",
+    "run_paired",
+    "run_scenario",
+]

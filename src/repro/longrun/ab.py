@@ -1,0 +1,130 @@
+"""Paired A/B lanes: two service policies, one identical workload.
+
+Because the arrival stream is a pure function of the spec's workload
+fields (seed, rate, Zipf shape, device mix, user pool, horizon) and the
+service's state can never influence the generator, two specs that agree
+on those fields see the *same* lookups at the same simulated times.
+That turns a policy comparison into a paired-difference experiment:
+per-rollup-window deltas on identical traffic, no variance from the
+workload itself.
+
+``run_paired`` refuses overrides that touch the stream-defining fields
+— an A/B comparison over different streams would silently measure the
+workload, not the policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.longrun.runner import LongRunner
+from repro.scenario.spec import ScenarioSpec
+
+#: Spec fields that define the workload stream (and the row alignment);
+#: A/B overrides must leave every one of them alone.
+STREAM_FIELDS = frozenset(
+    {
+        "corpus",
+        "pages",
+        "corpus_seed",
+        "horizon_hours",
+        "start_hour",
+        "rate_per_hour",
+        "zipf_exponent",
+        "phone_fraction",
+        "user_pool",
+        "workload_seed",
+        "rollup_hours",
+    }
+)
+
+#: Per-window metrics compared lane-to-lane (delta = B - A).
+_PAIRED_METRICS = ("served_rate", "p50_ms", "p99_ms", "mean_ms")
+
+
+def _check_overrides(label: str, overrides: Dict[str, object]) -> None:
+    spec_fields = set(ScenarioSpec.__dataclass_fields__)
+    unknown = sorted(set(overrides) - spec_fields)
+    if unknown:
+        raise ValueError(f"lane {label}: unknown spec fields {unknown}")
+    touched = sorted(set(overrides) & STREAM_FIELDS)
+    if touched:
+        raise ValueError(
+            f"lane {label}: overrides {touched} would change the workload "
+            "stream; A/B lanes must share it exactly"
+        )
+
+
+def run_paired(
+    spec: ScenarioSpec,
+    overrides_a: Optional[Dict[str, object]] = None,
+    overrides_b: Optional[Dict[str, object]] = None,
+    label_a: str = "A",
+    label_b: str = "B",
+) -> dict:
+    """Run two policy variants of ``spec`` against the identical stream.
+
+    Returns both full reports plus paired per-window delta rows and a
+    summary (mean/min/max of each delta series, B minus A).
+    """
+    overrides_a = dict(overrides_a or {})
+    overrides_b = dict(overrides_b or {})
+    _check_overrides(label_a, overrides_a)
+    _check_overrides(label_b, overrides_b)
+    spec_a = replace(spec, **overrides_a)
+    spec_b = replace(spec, **overrides_b)
+
+    report_a = LongRunner(spec_a).run_to(spec_a.horizon_hours).report()
+    report_b = LongRunner(spec_b).run_to(spec_b.horizon_hours).report()
+
+    rows_a, rows_b = report_a["rollups"], report_b["rollups"]
+    if len(rows_a) != len(rows_b):
+        raise RuntimeError(
+            "paired lanes produced different window counts "
+            f"({len(rows_a)} vs {len(rows_b)}) — stream invariant broken"
+        )
+    paired_rows: List[dict] = []
+    series: Dict[str, List[float]] = {name: [] for name in _PAIRED_METRICS}
+    for row_a, row_b in zip(rows_a, rows_b):
+        if row_a["lookups"] != row_b["lookups"]:
+            raise RuntimeError(
+                f"window {row_a['window']}: lanes saw different traffic "
+                f"({row_a['lookups']} vs {row_b['lookups']} lookups) — "
+                "stream invariant broken"
+            )
+        deltas = {
+            name: round(row_b[name] - row_a[name], 6)
+            for name in _PAIRED_METRICS
+        }
+        for name in _PAIRED_METRICS:
+            series[name].append(deltas[name])
+        paired_rows.append(
+            {
+                "window": row_a["window"],
+                "lookups": row_a["lookups"],
+                "deltas": deltas,
+            }
+        )
+
+    summary = {}
+    for name in _PAIRED_METRICS:
+        values = series[name]
+        summary[f"{name}_delta"] = {
+            "mean": round(sum(values) / len(values), 6) if values else 0.0,
+            "min": min(values) if values else 0.0,
+            "max": max(values) if values else 0.0,
+        }
+    totals_a, totals_b = report_a["totals"], report_b["totals"]
+    for key in ("hit_rate", "stale_hit_rate", "miss_rate"):
+        summary[f"{key}_delta"] = round(totals_b[key] - totals_a[key], 6)
+
+    return {
+        "lane_a": {"label": label_a, "overrides": overrides_a,
+                   "report": report_a},
+        "lane_b": {"label": label_b, "overrides": overrides_b,
+                   "report": report_b},
+        "stream_identical": True,
+        "windows": paired_rows,
+        "summary": summary,
+    }

@@ -5,7 +5,9 @@ phone on LTE, where the CPU is the bottleneck, and that "alternate
 scheduling strategies will likely be necessary in settings where either
 network bandwidth ... or latency ... is the bottleneck".  These profiles
 let the benchmarks probe exactly those regimes: a loaded cell (bandwidth
-bound), 3G and 2G/EDGE (latency bound), and fast Wi-Fi.
+bound), 3G and 2G/EDGE (latency bound), fast Wi-Fi and 5G (CPU bound),
+geostationary satellite (RTT bound), and a lossy cell whose random drops
+keep resetting slow start.
 """
 
 from __future__ import annotations
@@ -25,6 +27,8 @@ class NetworkProfile:
     downlink_bps: float
     uplink_bps: float
     rtt: float
+    #: Per-segment random-loss probability (bursty cells, 0 = clean).
+    loss_rate: float = 0.0
 
     def config(
         self,
@@ -37,6 +41,7 @@ class NetworkProfile:
             uplink_bps=self.uplink_bps,
             base_rtt=self.rtt,
             h2_scheduling=h2_scheduling,
+            loss_rate=self.loss_rate,
         )
 
 
@@ -49,8 +54,16 @@ PROFILES: Dict[str, NetworkProfile] = {
     "3g": NetworkProfile("3g", 3.0e6, 1.0e6, 0.250),
     # EDGE: both starved.
     "2g": NetworkProfile("2g", 0.24e6, 0.12e6, 0.600),
-    # Home Wi-Fi / future 5G-ish: the CPU is overwhelmingly the limit.
+    # Home Wi-Fi: the CPU is overwhelmingly the limit.
     "wifi": NetworkProfile("wifi", 50.0e6, 20.0e6, 0.020),
+    # mmWave/sub-6 5G, good signal: even more so than Wi-Fi.
+    "5g": NetworkProfile("5g", 200.0e6, 50.0e6, 0.015),
+    # Geostationary satellite: plenty of bandwidth, brutal RTT.
+    "satellite": NetworkProfile("satellite", 20.0e6, 3.0e6, 0.600),
+    # LTE with bursty random loss: slow start keeps collapsing.
+    "bursty-loss": NetworkProfile(
+        "bursty-loss", 10.0e6, 4.0e6, 0.070, loss_rate=0.02
+    ),
 }
 
 

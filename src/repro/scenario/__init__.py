@@ -1,0 +1,23 @@
+"""Declarative run descriptions for the continuous-operation harness.
+
+A :class:`~repro.scenario.spec.ScenarioSpec` composes everything a
+long-horizon service run depends on — corpus selection, network
+profile, workload shape, fault plan, store policy — into one
+fingerprintable, JSON-round-trippable value.  The streaming runner
+(:mod:`repro.longrun`) consumes specs; nothing in this layer runs a
+simulation itself.
+"""
+
+from repro.scenario.spec import (
+    CORPUS_BUILDERS,
+    ScenarioSpec,
+    fault_rule_from_dict,
+    fault_rule_to_dict,
+)
+
+__all__ = [
+    "CORPUS_BUILDERS",
+    "ScenarioSpec",
+    "fault_rule_from_dict",
+    "fault_rule_to_dict",
+]

@@ -348,7 +348,9 @@ class HintService:
     # -- event handlers ---------------------------------------------------
 
     # repro: hotpath
-    def _handle_lookup(self, lookup, now_hours: float) -> None:
+    def _handle_lookup(
+        self, lookup, now_hours: float
+    ) -> Tuple[FleetLookup, float]:
         page = self.pages[lookup.page_index]
         self.store.sync_health(now_hours)
         result = self.store.lookup(
@@ -441,6 +443,7 @@ class HintService:
                     payload=(entry.payload if entry is not None else None),
                 )
             )
+        return result, latency_ms
 
     def _staleness_of(
         self, key: Tuple[str, str], now_hours: float
@@ -502,6 +505,59 @@ class HintService:
             self._reshard_started = True
         if self.store.reshard_pending():
             self.store.reshard_step(self.config.reshard_points_per_tick)
+
+    # -- external driving (the longrun streaming harness) -----------------
+
+    def begin(self) -> None:
+        """Arm the service for externally driven traffic.
+
+        Syncs shard health at the start hour and prewarms if configured
+        — exactly what :meth:`run` does before its event loop.  Claims
+        the per-run counters, so a service is driven either by
+        :meth:`run` or externally, never both.
+        """
+        if self._ran:
+            raise RuntimeError(
+                "a HintService holds per-run counters; build a fresh one "
+                "per run"
+            )
+        self._ran = True
+        self.store.sync_health(self.config.start_hour)
+        if self.config.prewarm:
+            self._prewarm()
+
+    def process_lookup(
+        self, lookup, now_hours: float
+    ) -> Tuple[FleetLookup, float]:
+        """Serve one lookup at an absolute simulated hour.
+
+        Returns the front-door :class:`FleetLookup` outcome and the
+        recorded latency in milliseconds.  Callers own the clock: hours
+        must be fed monotonically, interleaved with
+        :meth:`process_batch` ticks.
+        """
+        return self._handle_lookup(lookup, now_hours)
+
+    def process_batch(self, now_hours: float) -> None:
+        """Run one scheduler tick (health sync, reshard step, batch)."""
+        self._run_batch(now_hours)
+
+    def trim_resolver_caches(self) -> int:
+        """Drop memoised stable sets; returns the entries dropped.
+
+        Each tick resolves at a fresh simulated hour, so over a long
+        horizon the per-page memo tables only ever grow and never hit.
+        The streaming runner calls this after every tick to keep memory
+        constant in the horizon.
+        """
+        dropped = 0
+        for resolver in self._resolvers.values():
+            dropped += resolver.trim_cache()
+        return dropped
+
+    def final_report(self, duration_hours: float) -> ServiceReport:
+        """The run report for an externally driven service."""
+        return self._report(duration_hours)
 
     # -- the run ----------------------------------------------------------
 

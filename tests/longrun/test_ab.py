@@ -1,0 +1,80 @@
+"""Paired A/B lanes: identical stream, policy-only deltas."""
+
+import pytest
+
+from repro.longrun import STREAM_FIELDS, run_paired
+from repro.scenario import ScenarioSpec
+
+SMALL = dict(
+    pages=4,
+    horizon_hours=1.5,
+    rate_per_hour=300.0,
+    shards=3,
+    replication=2,
+    rollup_hours=0.5,
+    shard_cycle_every_hours=0.5,
+    shard_cycle_down_hours=0.2,
+    shard_cycle_start_hours=0.25,
+)
+
+
+class TestPairedLanes:
+    def test_replication_ablation_pairs_cleanly(self):
+        spec = ScenarioSpec(**SMALL)
+        paired = run_paired(
+            spec, {}, {"replication": 1}, label_a="base", label_b="r1"
+        )
+        assert paired["stream_identical"]
+        rows_a = paired["lane_a"]["report"]["rollups"]
+        rows_b = paired["lane_b"]["report"]["rollups"]
+        assert len(rows_a) == len(rows_b) == len(paired["windows"])
+        for row_a, row_b, window in zip(
+            rows_a, rows_b, paired["windows"]
+        ):
+            assert row_a["lookups"] == row_b["lookups"]
+            assert window["lookups"] == row_a["lookups"]
+        # Removing the replicas must hurt availability through outages.
+        totals_b = paired["lane_b"]["report"]["totals"]
+        totals_a = paired["lane_a"]["report"]["totals"]
+        assert totals_b["unavailable"] > totals_a["unavailable"]
+        assert (
+            paired["summary"]["served_rate_delta"]["min"] < 0.0
+        )
+
+    def test_identical_policies_zero_deltas(self):
+        spec = ScenarioSpec(**SMALL)
+        paired = run_paired(spec, {}, {})
+        assert (
+            paired["lane_a"]["report"]["fingerprint"]
+            == paired["lane_b"]["report"]["fingerprint"]
+        )
+        for window in paired["windows"]:
+            assert all(
+                delta == 0.0 for delta in window["deltas"].values()
+            )
+
+    def test_summary_carries_every_metric(self):
+        paired = run_paired(ScenarioSpec(**SMALL), {}, {"vnodes": 32})
+        for key in (
+            "served_rate_delta",
+            "p50_ms_delta",
+            "p99_ms_delta",
+            "mean_ms_delta",
+            "hit_rate_delta",
+            "stale_hit_rate_delta",
+            "miss_rate_delta",
+        ):
+            assert key in paired["summary"]
+
+
+class TestStreamGuards:
+    @pytest.mark.parametrize("field", sorted(STREAM_FIELDS))
+    def test_stream_fields_rejected(self, field):
+        spec = ScenarioSpec(**SMALL)
+        value = getattr(spec, field)
+        with pytest.raises(ValueError, match="stream"):
+            run_paired(spec, {}, {field: value})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec field"):
+            run_paired(ScenarioSpec(**SMALL), {"warp_speed": 9}, {})

@@ -8,7 +8,10 @@ from repro.net.profiles import PROFILES, profile
 
 class TestProfiles:
     def test_known_profiles_present(self):
-        for name in ("lte", "loaded-lte", "3g", "2g", "wifi"):
+        for name in (
+            "lte", "loaded-lte", "3g", "2g", "wifi",
+            "5g", "satellite", "bursty-loss",
+        ):
             assert name in PROFILES
 
     def test_unknown_profile_rejected(self):
@@ -25,6 +28,15 @@ class TestProfiles:
         assert PROFILES["wifi"].downlink_bps > PROFILES["lte"].downlink_bps
         assert PROFILES["2g"].rtt > PROFILES["3g"].rtt > PROFILES["lte"].rtt
         assert PROFILES["loaded-lte"].downlink_bps < PROFILES["lte"].downlink_bps
+        assert PROFILES["5g"].downlink_bps > PROFILES["wifi"].downlink_bps
+        assert PROFILES["satellite"].rtt >= PROFILES["2g"].rtt
+
+    def test_loss_rate_threaded_into_config(self):
+        assert PROFILES["bursty-loss"].loss_rate > 0.0
+        cfg = profile("bursty-loss").config()
+        assert cfg.loss_rate == PROFILES["bursty-loss"].loss_rate
+        # Clean profiles stay lossless.
+        assert profile("lte").config().loss_rate == 0.0
 
     def test_loads_run_on_every_profile(self, page, snapshot, store):
         from repro.browser.engine import BrowserConfig, load_page

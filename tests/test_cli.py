@@ -147,6 +147,53 @@ class TestCorpusGuards:
         assert "error:" in capsys.readouterr().err
 
 
+class TestLongrunCommand:
+    def test_smoke_passes_and_writes_report(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "longrun.json")
+        assert main(["longrun", "--smoke", "--report", path]) == 0
+        out = capsys.readouterr().out
+        assert "longrun:" in out
+        assert "checkpoint/resume" in out
+        assert "fingerprints match True" in out
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["benchmark"] == "longrun"
+        assert payload["resume"]["match"] is True
+        assert payload["ab"]["stream_identical"] is True
+
+    def test_rejects_nonpositive_hours(self, capsys):
+        assert main(["longrun", "--hours", "0", "--report", ""]) == 2
+        assert "--hours" in capsys.readouterr().err
+
+    def test_rejects_unknown_corpus(self, capsys):
+        assert main(
+            ["longrun", "--corpus", "nosuch", "--report", ""]
+        ) == 2
+        assert "unknown corpus" in capsys.readouterr().err
+
+    def test_rejects_nonpositive_pages(self, capsys):
+        assert main(
+            ["longrun", "--hours", "2", "--pages", "-1", "--report", ""]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_rejects_checkpoint_outside_horizon(self, capsys):
+        assert main(
+            [
+                "longrun",
+                "--hours",
+                "2",
+                "--checkpoint-at",
+                "5",
+                "--report",
+                "",
+            ]
+        ) == 2
+        assert "--checkpoint-at" in capsys.readouterr().err
+
+
 class TestBenchCommand:
     def test_engine_smoke_passes_and_writes_report(self, tmp_path, capsys):
         import json
