@@ -64,6 +64,7 @@ def run_config(
     link_fast_forward: Optional[bool] = None,
     batched_timeline: Optional[bool] = None,
     vectorized_flow: Optional[bool] = None,
+    event_driven_browser: Optional[bool] = None,
     loss_rate: Optional[float] = None,
 ) -> LoadMetrics:
     """Load ``snapshot`` under the named configuration.
@@ -73,7 +74,8 @@ def run_config(
     lower bounds and the hybrid study build their own transports and run
     fault-free.  Both default to None, which is bit-identical to the
     pre-resilience behaviour.  ``link_fast_forward``,
-    ``batched_timeline`` and ``vectorized_flow`` override the engine's
+    ``batched_timeline``, ``vectorized_flow`` and
+    ``event_driven_browser`` override the engine's
     execution-mode knobs (None keeps the :class:`NetworkConfig`
     defaults); results are bit-identical across every combination — the
     equivalence suites run them against each other and assert so.
@@ -99,6 +101,8 @@ def run_config(
             config.batched_timeline = batched_timeline
         if vectorized_flow is not None:
             config.vectorized_flow = vectorized_flow
+        if event_driven_browser is not None:
+            config.event_driven_browser = event_driven_browser
         if loss_rate is not None:
             config.loss_rate = loss_rate
         return config

@@ -21,8 +21,8 @@ Commands
               service for simulated days with checkpoint/resume and
               paired A/B lanes; writes ``BENCH_longrun.json``
 ``bench``     engine micro-benchmarks; ``bench engine`` compares the
-              fast-forward DES hot path against event-per-tick and
-              writes ``BENCH_engine.json``
+              four DES executor modes (event-per-tick, fast-forward,
+              batched, event-driven) and writes ``BENCH_engine.json``
 ``configs``   list the available named configurations
 ``profiles``  list the available network profiles
 
@@ -661,7 +661,7 @@ def cmd_longrun(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    """Engine micro-benchmark: the three executor modes, head to head."""
+    """Engine micro-benchmark: the four executor modes, head to head."""
     import json
 
     from repro.experiments.engine_bench import (
@@ -684,19 +684,22 @@ def cmd_bench(args) -> int:
     def print_rows(report) -> None:
         print(
             f"{'scenario':<22} {'events ept':>10} {'events bat':>10} "
-            f"{'ff spdup':>8} {'bat spdup':>9}"
+            f"{'events ed':>10} {'ed reduc':>8} {'bat spdup':>9} "
+            f"{'ed spdup':>8}"
         )
         for row in report["scenarios"]:
             print(
                 f"{row['scenario']:<22} "
                 f"{row['counters_event_per_tick']['events_scheduled']:>10} "
                 f"{row['counters_batched']['events_scheduled']:>10} "
-                f"{row['wall_speedup']:>7.2f}x "
-                f"{row['wall_batched_speedup']:>8.2f}x"
+                f"{row['counters_event_driven']['events_scheduled']:>10} "
+                f"{row['event_reduction_event_driven']:>7.2f}x "
+                f"{row['wall_batched_speedup']:>8.2f}x "
+                f"{row['wall_event_driven_speedup']:>7.2f}x"
             )
 
     if getattr(args, "profile", None):
-        table = profile_scenario(args.profile)
+        table = profile_scenario(args.profile, mode=args.profile_mode)
         print(table)
         print(f"profile written to {args.profile}")
         return 0
@@ -1105,7 +1108,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = commands.add_parser(
         "bench",
-        help="engine micro-benchmarks (fast-forward vs event-per-tick)",
+        help="engine micro-benchmarks (the four DES executor modes)",
     )
     bench.add_argument(
         "target",
@@ -1136,8 +1139,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help=(
-            "cProfile the batched corpus-news load: dump raw stats to "
-            "PATH and print the top-25 cumulative table"
+            "cProfile the corpus-news load under --profile-mode: dump "
+            "raw stats to PATH and print the top-25 cumulative table"
+        ),
+    )
+    bench.add_argument(
+        "--profile-mode",
+        choices=["event_per_tick", "fast_forward", "batched", "event_driven"],
+        default="event_driven",
+        help=(
+            "engine mode to profile with --profile (default: the full "
+            "event-driven stack)"
         ),
     )
     _add_audit_arg(bench)

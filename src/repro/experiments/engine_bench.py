@@ -1,4 +1,4 @@
-"""Engine micro-benchmark: the three DES executor modes, head to head.
+"""Engine micro-benchmark: the four DES executor modes, head to head.
 
 Each scenario loads one page once per engine mode —
 
@@ -9,8 +9,12 @@ Each scenario loads one page once per engine mode —
 * ``batched`` — the batched timeline executor: array-backed event
   storage, multi-stream homogeneous-run batch loop, memoised
   assignment, closed-form water-filling.
+* ``event_driven`` — the batched executor plus the demand-driven
+  browser: scanner polls become state-transition subscriptions, link
+  refresh reschedules collapse through the lazy-tick flush, and
+  consecutive microtask deferrals share one heap event.
 
-— and asserts all three :class:`LoadMetrics` are bit-identical before
+— and asserts all four :class:`LoadMetrics` are bit-identical before
 reporting anything.  The report then carries two kinds of numbers:
 
 * **Deterministic counters** (heap events scheduled/executed/cancelled,
@@ -116,17 +120,24 @@ COUNTER_KEYS: Tuple[str, ...] = (
     "link_batch_runs",
     "link_batch_steps",
     "link_wf_fast_hits",
+    "link_tick_keeps",
+    "soon_coalesced",
+    "browser_wakeups",
+    "scanner_polls_elided",
 )
 
 #: The engine modes each scenario runs under, as
-#: ``(name, link_fast_forward, batched_timeline)``.  The legacy modes
-#: force ``batched_timeline`` *off* explicitly — it defaults on in
+#: ``(name, link_fast_forward, batched_timeline, event_driven_browser)``.
+#: The legacy modes force ``batched_timeline`` and
+#: ``event_driven_browser`` *off* explicitly — both default on in
 #: :class:`NetworkConfig` — so ``fast_forward`` stays the frozen PR 5
-#: engine the batched executor is measured against.
-MODES: Tuple[Tuple[str, bool, bool], ...] = (
-    ("event_per_tick", False, False),
-    ("fast_forward", True, False),
-    ("batched", True, True),
+#: engine and ``batched`` the frozen PR 6 engine that the event-driven
+#: browser is measured against.
+MODES: Tuple[Tuple[str, bool, bool, bool], ...] = (
+    ("event_per_tick", False, False, False),
+    ("fast_forward", True, False, False),
+    ("batched", True, True, False),
+    ("event_driven", True, True, True),
 )
 
 
@@ -175,6 +186,7 @@ def _load_once(
     scenario: EngineScenario,
     fast_forward: bool,
     batched: bool,
+    event_driven: bool,
 ) -> Tuple[LoadMetrics, float]:
     """One push-all + fetch-asap load; returns (metrics, wall seconds)."""
     servers = vroom_servers(
@@ -185,6 +197,7 @@ def _load_once(
         "loss_rate": scenario.loss_rate,
         "link_fast_forward": fast_forward,
         "batched_timeline": batched,
+        "event_driven_browser": event_driven,
     }
     if scenario.base_rtt is not None:
         net_kwargs["base_rtt"] = scenario.base_rtt
@@ -204,17 +217,23 @@ def bench_scenario(scenario: EngineScenario, repeats: int = 3) -> dict:
     page, snapshot, store = _materialize(scenario)
     wall: Dict[str, float] = {}
     metrics: Dict[str, LoadMetrics] = {}
-    for mode, fast_forward, batched in MODES:
+    for mode, fast_forward, batched, event_driven in MODES:
         best = None
         for _ in range(max(1, repeats)):
             result, elapsed = _load_once(
-                page, snapshot, store, scenario, fast_forward, batched
+                page,
+                snapshot,
+                store,
+                scenario,
+                fast_forward,
+                batched,
+                event_driven,
             )
             metrics[mode] = result
             best = elapsed if best is None else min(best, elapsed)
         wall[mode] = best or 0.0
     reference = metrics["event_per_tick"]
-    for mode, _, _ in MODES[1:]:
+    for mode, _, _, _ in MODES[1:]:
         if metrics[mode] != reference:
             raise AssertionError(
                 f"scenario {scenario.name!r}: {mode} diverged from the "
@@ -225,10 +244,11 @@ def bench_scenario(scenario: EngineScenario, repeats: int = 3) -> dict:
         mode: {
             key: metrics[mode].engine_counters[key] for key in COUNTER_KEYS
         }
-        for mode, _, _ in MODES
+        for mode, _, _, _ in MODES
     }
     scheduled_ff = max(1, counters["fast_forward"]["events_scheduled"])
     scheduled_batched = max(1, counters["batched"]["events_scheduled"])
+    scheduled_ed = max(1, counters["event_driven"]["events_scheduled"])
     return {
         "scenario": scenario.name,
         "description": scenario.description,
@@ -237,6 +257,7 @@ def bench_scenario(scenario: EngineScenario, repeats: int = 3) -> dict:
         "counters_event_per_tick": counters["event_per_tick"],
         "counters_fast_forward": counters["fast_forward"],
         "counters_batched": counters["batched"],
+        "counters_event_driven": counters["event_driven"],
         "event_reduction": (
             counters["event_per_tick"]["events_scheduled"] / scheduled_ff
         ),
@@ -244,15 +265,21 @@ def bench_scenario(scenario: EngineScenario, repeats: int = 3) -> dict:
             counters["event_per_tick"]["events_scheduled"]
             / scheduled_batched
         ),
+        #: The PR criterion: heap traffic of the demand-driven browser
+        #: vs the reference engine on the same page.
+        "event_reduction_event_driven": (
+            counters["event_per_tick"]["events_scheduled"] / scheduled_ed
+        ),
         "wall_event_per_tick_sec": wall["event_per_tick"],
         "wall_fast_forward_sec": wall["fast_forward"],
         "wall_batched_sec": wall["batched"],
+        "wall_event_driven_sec": wall["event_driven"],
         "wall_speedup": (
             wall["event_per_tick"] / wall["fast_forward"]
             if wall["fast_forward"] > 0
             else 0.0
         ),
-        #: The PR criterion: batched executor vs the frozen PR 5 engine.
+        #: The PR 6 criterion: batched executor vs the frozen PR 5 engine.
         "wall_batched_speedup": (
             wall["fast_forward"] / wall["batched"]
             if wall["batched"] > 0
@@ -261,6 +288,17 @@ def bench_scenario(scenario: EngineScenario, repeats: int = 3) -> dict:
         "wall_batched_vs_event_per_tick": (
             wall["event_per_tick"] / wall["batched"]
             if wall["batched"] > 0
+            else 0.0
+        ),
+        #: Event-driven browser vs the frozen PR 6 batched executor.
+        "wall_event_driven_speedup": (
+            wall["batched"] / wall["event_driven"]
+            if wall["event_driven"] > 0
+            else 0.0
+        ),
+        "wall_event_driven_vs_event_per_tick": (
+            wall["event_per_tick"] / wall["event_driven"]
+            if wall["event_driven"] > 0
             else 0.0
         ),
     }
@@ -289,31 +327,55 @@ SMOKE_GOLDENS: Dict[str, Dict[str, int]] = {
         "events_scheduled_event_per_tick": 1636,
         "events_scheduled_fast_forward": 1631,
         "events_scheduled_batched": 1631,
+        "events_scheduled_event_driven": 1004,
+        "events_cancelled_event_driven": 46,
         "link_pokes": 553,
         "link_fast_forward_steps": 5,
         "link_batch_runs": 1,
         "link_batch_steps": 2,
         "link_wf_fast_hits": 60,
+        "link_batch_runs_event_driven": 2,
+        "link_batch_steps_event_driven": 3,
+        "link_tick_keeps": 1,
+        "soon_coalesced": 113,
+        "browser_wakeups": 2,
+        "scanner_polls_elided": 259,
     },
     "push-all-high-rtt": {
         "events_scheduled_event_per_tick": 317,
         "events_scheduled_fast_forward": 110,
         "events_scheduled_batched": 110,
+        "events_scheduled_event_driven": 64,
+        "events_cancelled_event_driven": 1,
         "link_pokes": 246,
         "link_fast_forward_steps": 207,
         "link_batch_runs": 3,
         "link_batch_steps": 204,
         "link_wf_fast_hits": 0,
+        "link_batch_runs_event_driven": 3,
+        "link_batch_steps_event_driven": 204,
+        "link_tick_keeps": 0,
+        "soon_coalesced": 22,
+        "browser_wakeups": 1,
+        "scanner_polls_elided": 0,
     },
     "single-stream-drain": {
         "events_scheduled_event_per_tick": 1281,
         "events_scheduled_fast_forward": 27,
         "events_scheduled_batched": 27,
+        "events_scheduled_event_driven": 23,
+        "events_cancelled_event_driven": 1,
         "link_pokes": 1266,
         "link_fast_forward_steps": 1254,
         "link_batch_runs": 2,
         "link_batch_steps": 1251,
         "link_wf_fast_hits": 0,
+        "link_batch_runs_event_driven": 2,
+        "link_batch_steps_event_driven": 1251,
+        "link_tick_keeps": 0,
+        "soon_coalesced": 1,
+        "browser_wakeups": 1,
+        "scanner_polls_elided": 0,
     },
 }
 
@@ -329,12 +391,34 @@ SPEEDUP_FLOORS: Dict[str, float] = {
     "single-stream-drain": 0.90,
 }
 
+#: Minimum acceptable ``wall_event_driven_speedup`` (event-driven
+#: browser vs the frozen PR 6 batched engine) per scenario.  On the
+#: tick-dominated shapes the event-driven engine wins outright
+#: (≈1.20x / 1.18x steady-state on an idle reference container), but
+#: those loads finish in single-digit milliseconds and on a busy
+#: machine the ratio hovers near parity — so, like the PR 6 floors
+#: above, these sit deliberately far below the measurements (≥25%
+#: margin) to keep shared-runner noise out of CI while a real
+#: regression (the event-driven engine becoming meaningfully *slower*
+#: than batched) still fails.  On ``corpus-news`` the heap collapse is
+#: real (1.63x fewer events) but the removed events were *cheap* — the
+#: load is assignment-bound (``_assign_and_horizon_batched``), so
+#: wall-clock is parity by design and the floor only guards against an
+#: actual regression.  See ``docs/PERFORMANCE.md`` for the full
+#: census.
+EVENT_DRIVEN_SPEEDUP_FLOORS: Dict[str, float] = {
+    "corpus-news": 0.75,
+    "push-all-high-rtt": 0.80,
+    "single-stream-drain": 0.75,
+}
+
 
 def smoke_counters(report: dict) -> Dict[str, Dict[str, int]]:
     """The golden-comparable slice of an :func:`engine_benchmark` report."""
     observed: Dict[str, Dict[str, int]] = {}
     for row in report["scenarios"]:
         batched = row["counters_batched"]
+        event_driven = row["counters_event_driven"]
         observed[row["scenario"]] = {
             "events_scheduled_event_per_tick": row[
                 "counters_event_per_tick"
@@ -343,6 +427,12 @@ def smoke_counters(report: dict) -> Dict[str, Dict[str, int]]:
                 "events_scheduled"
             ],
             "events_scheduled_batched": batched["events_scheduled"],
+            "events_scheduled_event_driven": event_driven[
+                "events_scheduled"
+            ],
+            "events_cancelled_event_driven": event_driven[
+                "events_cancelled"
+            ],
             "link_pokes": row["counters_fast_forward"]["link_pokes"],
             "link_fast_forward_steps": row["counters_fast_forward"][
                 "link_fast_forward_steps"
@@ -350,6 +440,16 @@ def smoke_counters(report: dict) -> Dict[str, Dict[str, int]]:
             "link_batch_runs": batched["link_batch_runs"],
             "link_batch_steps": batched["link_batch_steps"],
             "link_wf_fast_hits": batched["link_wf_fast_hits"],
+            "link_batch_runs_event_driven": event_driven[
+                "link_batch_runs"
+            ],
+            "link_batch_steps_event_driven": event_driven[
+                "link_batch_steps"
+            ],
+            "link_tick_keeps": event_driven["link_tick_keeps"],
+            "soon_coalesced": event_driven["soon_coalesced"],
+            "browser_wakeups": event_driven["browser_wakeups"],
+            "scanner_polls_elided": event_driven["scanner_polls_elided"],
         }
     return observed
 
@@ -359,13 +459,17 @@ def profile_scenario(
     scenario_name: str = "corpus-news",
     loads: int = 5,
     top: int = 25,
+    mode: str = "event_driven",
 ) -> str:
-    """cProfile ``loads`` batched-executor loads of one scenario.
+    """cProfile ``loads`` loads of one scenario under one engine mode.
 
-    Dumps the raw ``pstats`` data to ``stats_path`` (for ``snakeviz`` /
-    ``pstats`` digging offline) and returns the top-``top`` cumulative
-    table as text — the CI engine-bench job archives both, so every run
-    carries the evidence of where the hot path's time actually went.
+    ``mode`` is any :data:`MODES` name (``event_per_tick``,
+    ``fast_forward``, ``batched``, ``event_driven``); the default
+    profiles the full event-driven stack.  Dumps the raw ``pstats``
+    data to ``stats_path`` (for ``snakeviz`` / ``pstats`` digging
+    offline) and returns the top-``top`` cumulative table as text —
+    the CI engine-bench job archives both, so every run carries the
+    evidence of where the hot path's time actually went.
     """
     import cProfile
     import io
@@ -374,13 +478,20 @@ def profile_scenario(
     scenario = next(
         item for item in SCENARIOS if item.name == scenario_name
     )
+    try:
+        _, fast_forward, batched, event_driven = next(
+            row for row in MODES if row[0] == mode
+        )
+    except StopIteration:
+        names = ", ".join(row[0] for row in MODES)
+        raise ValueError(f"unknown engine mode {mode!r} (one of: {names})")
     page, snapshot, store = _materialize(scenario)
 
     def run() -> None:
         for _ in range(loads):
             _load_once(
                 page, snapshot, store, scenario,
-                fast_forward=True, batched=True,
+                fast_forward, batched, event_driven,
             )
 
     run()  # warm caches so the profile reflects steady state
@@ -411,11 +522,20 @@ def smoke_run() -> dict:
 #: different number of times).  These are not comparable to the goldens
 #: there — but every trace-shaped counter (events, pokes, fast-forward
 #: steps) must still match exactly, and that is what the audited smoke
-#: run asserts.
+#: run asserts.  Microtask batching also stands down under audit (the
+#: seq-gap coalescing guard is an implementation shortcut the auditor
+#: refuses), so the event-driven heap totals and the coalescing counter
+#: shift by exactly the coalesced count; the demand-driven trace
+#: counters (``browser_wakeups``, ``scanner_polls_elided``,
+#: ``link_tick_keeps``, cancellations) stay pinned even when audited.
 _IMPLEMENTATION_COUNTERS = (
     "link_batch_runs",
     "link_batch_steps",
     "link_wf_fast_hits",
+    "link_batch_runs_event_driven",
+    "link_batch_steps_event_driven",
+    "events_scheduled_event_driven",
+    "soon_coalesced",
 )
 
 
@@ -426,6 +546,10 @@ def smoke_check(report: dict) -> List[str]:
     audited = audit.ENABLED
     speedups = {
         row["scenario"]: row["wall_batched_speedup"]
+        for row in report["scenarios"]
+    }
+    ed_speedups = {
+        row["scenario"]: row.get("wall_event_driven_speedup")
         for row in report["scenarios"]
     }
     for scenario, golden in SMOKE_GOLDENS.items():
@@ -452,5 +576,17 @@ def smoke_check(report: dict) -> List[str]:
                 f"{scenario}.wall_batched_speedup: {speedup:.2f}x fell "
                 f"below the {floor:.2f}x floor — the batched executor "
                 "lost its wall-clock edge over the fast-forward engine"
+            )
+        ed_floor = EVENT_DRIVEN_SPEEDUP_FLOORS.get(scenario)
+        ed_speedup = ed_speedups.get(scenario)
+        if (
+            ed_floor is not None
+            and ed_speedup is not None
+            and ed_speedup < ed_floor
+        ):
+            problems.append(
+                f"{scenario}.wall_event_driven_speedup: {ed_speedup:.2f}x "
+                f"fell below the {ed_floor:.2f}x floor — the event-driven "
+                "browser lost its wall-clock edge over the batched engine"
             )
     return problems

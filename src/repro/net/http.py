@@ -81,6 +81,12 @@ class NetworkConfig:
     #: vectorised solver (:mod:`repro.net.flow`).  Opt-in; numpy is a
     #: soft dependency — without it the solver falls back to pure python.
     vectorized_flow: bool = False
+    #: Demand-driven browser wakeups: the preload scanner arms from
+    #: fetch-created callbacks landing on the legacy poll's exact 5 ms
+    #: grid, eliding every no-op poll tick so silent link windows stay
+    #: open for batch runs.  Bit-identical to the poll engine; off keeps
+    #: the standing poll loop for equivalence and bisection.
+    event_driven_browser: bool = True
 
     def rtt_to(self, server: OriginServer) -> float:
         if self.zero_latency:
@@ -196,6 +202,7 @@ class HttpClient:
             fast_forward=self.config.link_fast_forward,
             batched=self.config.batched_timeline,
             vectorized_flow=self.config.vectorized_flow,
+            lazy_ticks=self.config.event_driven_browser,
         )
         self._domains: Dict[str, _DomainState] = {}
         #: url -> Fetch for every exchange ever started (including pushes).

@@ -360,6 +360,7 @@ class AccessLink:
         fast_forward: bool = True,
         batched: bool = False,
         vectorized_flow: bool = False,
+        lazy_ticks: bool = False,
     ):
         if downlink_bps <= 0:
             raise ValueError("bandwidth must be positive")
@@ -383,6 +384,16 @@ class AccessLink:
         #: Route general water-filling recomputes through the numpy-backed
         #: solver (soft dependency; see :mod:`repro.net.flow`).
         self.vectorized_flow = vectorized_flow
+        #: Lazy refresh-tick discipline (the event-driven browser mode):
+        #: :meth:`_reschedule` records the desired absolute tick target
+        #: and defers the heap push to the simulator's pre-advance hook,
+        #: so the many same-timestamp reschedules a poke cascade produces
+        #: collapse into at most one real heap event — and none at all
+        #: when the net target equals the already-pending tick's time.
+        #: Bit-identical by the usual contract: the materialised tick
+        #: lands at exactly the time the last eager reschedule would have
+        #: used.  Off keeps the eager cancel-and-reschedule reference.
+        self.lazy_ticks = lazy_ticks
         self.channels: List[Channel] = []
         self._last_update = sim.now
         self._tick_event: Optional[EventLike] = None
@@ -395,6 +406,11 @@ class AccessLink:
         #: still pending in the heap.
         self._raw_sim = sim if isinstance(sim, ArraySimulator) else None
         self._tick_slot = -1
+        #: Lazy discipline bookkeeping: absolute time of the live heap
+        #: tick (None when none is pending) and the deferred target not
+        #: yet materialised (None when clean).
+        self._tick_at: Optional[float] = None
+        self._tick_want: Optional[float] = None
         self._in_poke = False
         #: Memoised water-filling result: signature of (channel id, cap)
         #: pairs -> rates.  Valid until the busy set or any cap changes.
@@ -445,6 +461,10 @@ class AccessLink:
         self.batch_runs = 0
         self.batch_steps = 0
         self.wf_fast_hits = 0
+        #: Lazy-tick counter: pending refresh ticks kept in place because
+        #: the cascade's net target equalled their time (heap push and
+        #: cancel both elided).
+        self.tick_keeps = 0
 
     def open_channel(
         self,
@@ -861,6 +881,9 @@ class AccessLink:
         return horizon
 
     def _reschedule(self, horizon: Optional[float]) -> None:
+        if self.lazy_ticks:
+            self._reschedule_lazy(horizon)
+            return
         raw = self._raw_sim
         if raw is not None:
             # Handle-free tick bookkeeping on the array executor: the
@@ -882,6 +905,81 @@ class AccessLink:
             self._tick_event = None
         if horizon is not None:
             self._tick_event = self.sim.schedule(max(0.0, horizon), self._tick)
+
+    # repro: hotpath
+    def _reschedule_lazy(self, horizon: Optional[float]) -> None:
+        """Deferred-materialisation variant of :meth:`_reschedule`.
+
+        Records the desired absolute target and arms the simulator's
+        pre-advance hook instead of touching the heap, so a cascade of
+        same-timestamp reschedules performs one heap push at most — at
+        exactly the time the *last* eager reschedule would have used
+        (``now + max(0, horizon)`` evaluated here, with ``now`` frozen
+        until the flush).  Same-time wakeups (``horizon <= 0``) cannot be
+        deferred — they must queue behind already-pending same-time
+        events in seq order — so those fall through to the eager path.
+        """
+        now = self.sim.now
+        if self._tick_at is not None and self._tick_at <= now:
+            # The live tick is due at the current timestamp but a newer
+            # scheduling decision supersedes it; the eager path would
+            # have cancelled it here too.
+            self._cancel_tick()
+        if horizon is None:
+            self._tick_want = None
+            self._cancel_tick()
+            self.sim.cancel_deferred()
+            return
+        target = now + (horizon if horizon > 0.0 else 0.0)
+        if target <= now:
+            self._tick_want = None
+            self.sim.cancel_deferred()
+            self._cancel_tick()
+            self._schedule_tick_at(target)
+            return
+        self._tick_want = target
+        self.sim.defer(self._materialize_tick)
+
+    # repro: hotpath
+    def _materialize_tick(self) -> None:
+        """Pre-advance flush: push the deferred tick, or keep the live one.
+
+        When the net target of the cascade equals the live pending
+        tick's time bit-for-bit, the pending event already *is* the one
+        the eager path would have ended up with (modulo its sequence
+        number, which only same-time float collisions could observe —
+        the equivalence suites arbitrate) and both the cancel and the
+        push are elided entirely.
+        """
+        want = self._tick_want
+        if want is None:
+            return
+        self._tick_want = None
+        if want == self._tick_at:
+            self.tick_keeps += 1
+            return
+        self._cancel_tick()
+        self._schedule_tick_at(want)
+
+    def _cancel_tick(self) -> None:
+        raw = self._raw_sim
+        if raw is not None:
+            slot = self._tick_slot
+            if slot >= 0:
+                raw._cancel_slot(slot)
+                self._tick_slot = -1
+        elif self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+        self._tick_at = None
+
+    def _schedule_tick_at(self, target: float) -> None:
+        raw = self._raw_sim
+        if raw is not None:
+            self._tick_slot = raw.schedule_raw_at(target, self._tick)
+        else:
+            self._tick_event = self.sim.schedule_at(target, self._tick)
+        self._tick_at = target
 
     def _step(self) -> None:
         """Integrate progress to ``sim.now`` and fire due watches/completions."""
@@ -1054,6 +1152,8 @@ class AccessLink:
             return
         self._tick_event = None
         self._tick_slot = -1
+        self._tick_at = None
+        self._tick_want = None
         self._in_poke = True
         try:
             while True:

@@ -355,3 +355,56 @@ class TestFailureModes:
         )
         with pytest.raises(RuntimeError, match="never fired onload"):
             engine.run(time_limit=30.0)
+
+
+class TestScannerDrivers:
+    """The preload-scanner drivers: reference poll vs demand-driven."""
+
+    @staticmethod
+    def _run_counting_documents(event_driven):
+        from repro.net.http import NetworkConfig
+
+        # The iframe's fetch starts only once the root parse reaches it,
+        # so the scanner to-do list stays non-empty past t=0 and the
+        # poll grid actually gets walked.
+        page = build_page(
+            extra_specs=[
+                spec("frame", ResourceType.HTML, "root", position=0.9),
+                spec("frame_img", ResourceType.IMAGE, "frame", position=0.5),
+            ]
+        )
+        snapshot = page.materialize(STAMP)
+        store = record_snapshot(snapshot)
+        calls = []
+        original = snapshot.documents
+
+        def counting():
+            calls.append(None)
+            return original()
+
+        snapshot.documents = counting  # instance-level shadow
+        engine = PageLoadEngine(
+            snapshot,
+            build_servers(store),
+            NetworkConfig(event_driven_browser=event_driven),
+            BrowserConfig(when_hours=STAMP.when_hours),
+        )
+        metrics = engine.run()
+        return len(calls), metrics
+
+    # Exactly two document-list builds per load: one when the scanner
+    # driver hoists its to-do list, one when iframe parses start.  A
+    # regression to per-tick rebuilding would show up as hundreds.
+
+    def test_poll_loop_builds_document_list_once(self):
+        """Regression: the reference 5 ms poll must hoist the document
+        list — one resource-tree walk per load, not one per tick."""
+        calls, metrics = self._run_counting_documents(event_driven=False)
+        assert calls == 2
+        # Sanity: the poll actually ran (many grid ticks on this page).
+        assert metrics.engine_counters["browser_wakeups"] > 1
+
+    def test_event_driven_builds_document_list_once(self):
+        calls, metrics = self._run_counting_documents(event_driven=True)
+        assert calls == 2
+        assert metrics.engine_counters["scanner_polls_elided"] > 0

@@ -59,6 +59,10 @@ def test_acceptance_ratios(smoke_report):
     rows = {row["scenario"]: row for row in smoke_report["scenarios"]}
     assert rows["push-all-high-rtt"]["event_reduction"] >= 2.0
     assert rows["single-stream-drain"]["event_reduction"] >= 2.0
+    # The event-driven browser's headline: the realistic page's heap
+    # traffic actually collapses (was 1.003x before the scanner poll
+    # was replaced by demand-driven wakeups).
+    assert rows["corpus-news"]["event_reduction_event_driven"] >= 1.5
     for row in rows.values():
         assert row["bit_identical"] is True
         assert row["plt"] > 0
@@ -76,6 +80,12 @@ def test_counters_cover_all_modes(smoke_report):
         assert counters["events_scheduled_batched"] == (
             counters["events_scheduled_fast_forward"]
         ), scenario
+        # The event-driven browser, by contrast, is *allowed* to shrink
+        # the schedule (elided polls, kept ticks, coalesced microtasks)
+        # — but never to grow it.
+        assert counters["events_scheduled_event_driven"] <= (
+            counters["events_scheduled_batched"]
+        ), scenario
 
 
 def test_batched_counters_present(smoke_report):
@@ -92,6 +102,28 @@ def test_batched_counters_present(smoke_report):
         "link_batch_steps"
     ] > 1000
     assert rows["corpus-news"]["counters_batched"]["link_wf_fast_hits"] > 0
+
+
+def test_event_driven_counters_present(smoke_report):
+    rows = {row["scenario"]: row for row in smoke_report["scenarios"]}
+    for scenario, row in rows.items():
+        event_driven = row["counters_event_driven"]
+        assert row["wall_event_driven_sec"] > 0
+        assert row["wall_event_driven_speedup"] > 0
+        # Legacy modes keep the demand-driven machinery inert.
+        for mode in ("event_per_tick", "fast_forward", "batched"):
+            legacy = row[f"counters_{mode}"]
+            assert legacy["scanner_polls_elided"] == 0, (scenario, mode)
+            assert legacy["link_tick_keeps"] == 0, (scenario, mode)
+            assert legacy["soon_coalesced"] == 0, (scenario, mode)
+    news = rows["corpus-news"]["counters_event_driven"]
+    # The realistic page is where the poll wall lived: nearly every
+    # grid tick is elided, and batch runs grow past PR 6's ceiling.
+    assert news["scanner_polls_elided"] > 200
+    assert news["soon_coalesced"] > 50
+    assert news["link_batch_runs"] > (
+        rows["corpus-news"]["counters_batched"]["link_batch_runs"]
+    )
 
 
 def test_custom_scenario_runs_and_verifies():

@@ -1,0 +1,190 @@
+"""Event-driven browser wakeups vs the scanner-poll engine: bit-for-bit.
+
+``NetworkConfig.event_driven_browser`` replaces the browser engine's
+standing 5 ms preload-scanner poll with demand-driven wakeups placed on
+the poll's own virtual time grid, collapses link refresh reschedules
+through the lazy-tick flush, and coalesces consecutive microtask
+deferrals into shared heap events.  Like ``link_fast_forward`` and
+``batched_timeline`` before it, the flag may only ever be a
+*performance* knob: every discovery, stage transition, and metric must
+occur at the same simulated timestamp as under the poll, so
+:class:`LoadMetrics` must be bit-identical — the unobservability
+contract.
+
+The property-style sweep below draws random (loss, fault-plan, scenario)
+triples from a seeded RNG rather than enumerating a fixed grid — each CI
+run re-checks the same deterministic sample, but the sample covers
+corners (lossy + faulted + pushed) no hand-picked matrix lists.
+"""
+
+import random
+
+import pytest
+
+from repro import audit
+from repro.baselines.configs import run_config
+from repro.net.faults import ResiliencePolicy, hint_fault_plan
+from repro.replay.recorder import record_snapshot
+
+#: Scenario axis: the configurations exercising distinct engine paths
+#: (client-driven, hint-driven, and push-everything server behaviour).
+SCENARIO_CONFIGS = ["http2", "vroom", "push-all-fetch-asap"]
+LOSS_RATES = [0.0, 0.01, 0.03]
+FAULT_RATES = [0.0, 0.2, 0.4]
+
+#: Deterministic property sample: 8 random triples, seeded (differently
+#: from the batched suite, so the two sweeps cover different corners).
+_RNG = random.Random(0xE7D12)
+TRIPLES = [
+    (
+        _RNG.choice(LOSS_RATES),
+        _RNG.choice(FAULT_RATES),
+        _RNG.choice(SCENARIO_CONFIGS),
+        _RNG.randrange(4),  # corpus page index
+    )
+    for _ in range(8)
+]
+
+
+def _run(page, snapshot, store, config, loss, fault_rate, **engine):
+    plan = hint_fault_plan(fault_rate, seed=23) if fault_rate else None
+    resilience = ResiliencePolicy() if plan else None
+    return run_config(
+        config,
+        page,
+        snapshot,
+        store,
+        loss_rate=loss,
+        fault_plan=plan,
+        resilience=resilience,
+        **engine,
+    )
+
+
+def _scanner_discoveries(metrics):
+    """url -> discovery timestamp, for scanner-discovered resources."""
+    return {
+        url: timeline.discovered_at
+        for url, timeline in metrics.timelines.items()
+        if timeline.discovered_via == "scanner"
+    }
+
+
+@pytest.mark.parametrize(
+    "loss,fault_rate,config,page_index",
+    TRIPLES,
+    ids=[
+        f"loss{loss}-fault{fault}-{config}-p{idx}"
+        for loss, fault, config, idx in TRIPLES
+    ],
+)
+def test_random_triples_bit_identical(
+    corpus, stamp, loss, fault_rate, config, page_index
+):
+    """Event-driven == poll engine on a random (loss, faults, scenario)
+    triple.
+
+    One materialization is shared by both runs — the comparison is
+    about the wakeup driver, never snapshot drift.
+    """
+    page = corpus[page_index]
+    snapshot = page.materialize(stamp)
+    store = record_snapshot(snapshot)
+    poll = _run(
+        page, snapshot, store, config, loss, fault_rate,
+        event_driven_browser=False,
+    )
+    event_driven = _run(
+        page, snapshot, store, config, loss, fault_rate,
+        event_driven_browser=True,
+    )
+    assert event_driven == poll, (
+        f"{page.name} under {config!r} loss={loss} faults={fault_rate}: "
+        f"event-driven browser changed observables "
+        f"(plt {poll.plt!r} vs {event_driven.plt!r})"
+    )
+    # The headline contract, stated explicitly even though the metrics
+    # equality above already covers timelines: every scanner discovery
+    # lands at the identical virtual-grid timestamp.
+    assert _scanner_discoveries(event_driven) == _scanner_discoveries(poll)
+    # Every poll tick is accounted for: either a demand-driven wakeup
+    # ran the sweep at that grid point, or the tick was elided outright.
+    assert (
+        event_driven.engine_counters["browser_wakeups"]
+        + event_driven.engine_counters["scanner_polls_elided"]
+        == poll.engine_counters["browser_wakeups"]
+    )
+
+
+def test_audited_event_driven_corpus_load_identical(corpus, stamp):
+    """REPRO_AUDIT=1 on a full corpus scenario: the scanner-wakeup-bound
+    invariant (and every other hook) holds under the event-driven
+    browser, and arming the audit changes nothing observable."""
+    page = corpus[0]
+    snapshot = page.materialize(stamp)
+    store = record_snapshot(snapshot)
+    plain = _run(
+        page, snapshot, store, "vroom", 0.01, 0.2,
+        event_driven_browser=True,
+    )
+    audit.enable()
+    try:
+        audited = _run(
+            page, snapshot, store, "vroom", 0.01, 0.2,
+            event_driven_browser=True,
+        )
+    finally:
+        audit.disable()
+    assert audited == plain
+
+
+def test_audited_event_driven_vs_poll_identical(corpus, stamp):
+    """The full REPRO_AUDIT=1 equivalence: poll vs event-driven compared
+    end-to-end *with the audit armed on both sides*, so the invariant
+    hooks police the very runs being compared."""
+    page = corpus[1]
+    snapshot = page.materialize(stamp)
+    store = record_snapshot(snapshot)
+    audit.enable()
+    try:
+        poll = _run(
+            page, snapshot, store, "push-all-fetch-asap", 0.01, 0.0,
+            event_driven_browser=False,
+        )
+        event_driven = _run(
+            page, snapshot, store, "push-all-fetch-asap", 0.01, 0.0,
+            event_driven_browser=True,
+        )
+    finally:
+        audit.disable()
+    assert event_driven == poll
+
+
+def test_event_driven_counters_expose_wakeup_activity(
+    page, snapshot, store
+):
+    """The new counters surface on LoadMetrics and stay inert when off."""
+    on = run_config(
+        "push-all-fetch-asap", page, snapshot, store,
+        event_driven_browser=True,
+    )
+    off = run_config(
+        "push-all-fetch-asap", page, snapshot, store,
+        event_driven_browser=False,
+    )
+    # The poll pierced every silent window; the event-driven driver
+    # skips nearly all of those grid ticks.
+    assert on.engine_counters["scanner_polls_elided"] > 0
+    assert off.engine_counters["scanner_polls_elided"] == 0
+    assert (
+        on.engine_counters["browser_wakeups"]
+        < off.engine_counters["browser_wakeups"]
+    )
+    # Fewer heap events overall — the point of the exercise.
+    assert (
+        on.engine_counters["events_scheduled"]
+        < off.engine_counters["events_scheduled"]
+    )
+    assert off.engine_counters["link_tick_keeps"] == 0
+    assert off.engine_counters["soon_coalesced"] == 0
+    assert on == off
